@@ -1,0 +1,354 @@
+// Package bench holds the benchmark harness that regenerates every
+// measurable artifact of the paper (see DESIGN.md §3 and EXPERIMENTS.md):
+//
+//	BenchmarkFigure1FirstResultLatency      — Figure 1 (PIER vs Gnutella CDFs)
+//	BenchmarkFigure2Top10FirewallSources    — Figure 2 (top-10 event sources)
+//	BenchmarkAblation*                      — design-choice ablations
+//	Benchmark<micro>                        — hot-path microbenchmarks
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches report shape metrics (recall, medians, overlaps) via
+// b.ReportMetric so regressions in the reproduced result — not just in
+// speed — are visible.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pier/internal/bloom"
+	"pier/internal/exec"
+	"pier/internal/experiments"
+	"pier/internal/expr"
+	"pier/internal/overlay"
+	"pier/internal/sim"
+	"pier/internal/tuple"
+	"pier/internal/vri"
+	"pier/internal/wire"
+)
+
+// BenchmarkFigure1FirstResultLatency regenerates Figure 1: the CDF of
+// first-result latency for PIER on rare items versus Gnutella flooding
+// on the full query mix and on rare items, at the paper's 50-node scale.
+func BenchmarkFigure1FirstResultLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure1(experiments.Figure1Config{
+			Nodes:   50,
+			Queries: 60,
+			Seed:    int64(1000 + i),
+		})
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		ph, pm := res.PierRare.Count()
+		gh, gm := res.GnutellaRare.Count()
+		b.ReportMetric(float64(ph)/float64(ph+pm)*100, "pier-rare-recall-%")
+		b.ReportMetric(float64(gh)/float64(gh+gm)*100, "gnut-rare-recall-%")
+		if med, ok := res.PierRare.Percentile(50); ok {
+			b.ReportMetric(med.Seconds(), "pier-median-s")
+		}
+		if med, ok := res.GnutellaAll.Percentile(50); ok {
+			b.ReportMetric(med.Seconds(), "gnut-all-median-s")
+		}
+	}
+}
+
+// BenchmarkFigure2Top10FirewallSources regenerates Figure 2: the top ten
+// sources of firewall events aggregated across 350 nodes.
+func BenchmarkFigure2Top10FirewallSources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure2(experiments.Figure2Config{
+			Nodes: 350,
+			Seed:  int64(2000 + i),
+		})
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		b.ReportMetric(float64(res.TopOverlap()), "top10-overlap")
+	}
+}
+
+// BenchmarkAblationJoinStrategies compares symmetric-hash rehash, Fetch
+// Matches, and Bloom-filtered rehash on one workload (§3.3.4, [32]).
+func BenchmarkAblationJoinStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunJoinStrategies(experiments.JoinStrategiesConfig{
+			Nodes: 16, OuterSize: 800, InnerSize: 40, MatchFraction: 0.05,
+			Seed: int64(3000 + i),
+		})
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		for _, o := range res.Outcomes {
+			b.ReportMetric(float64(o.Bytes), o.Strategy+"-bytes")
+		}
+	}
+}
+
+// BenchmarkAblationHierarchicalAggregation measures in-bandwidth at the
+// aggregation point with and without in-network merging (§3.3.4).
+func BenchmarkAblationHierarchicalAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunHierAgg(experiments.HierAggConfig{
+			Nodes: 64, TuplesPerNode: 20, Groups: 4, Seed: int64(4000 + i),
+		})
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		for _, o := range res.Outcomes {
+			b.ReportMetric(float64(o.RootMsgsIn), o.Strategy+"-root-msgs")
+		}
+	}
+}
+
+// BenchmarkAblationChurn measures lookup success under increasing churn
+// (§3.2.2): shorter mean sessions mean harsher membership turnover.
+func BenchmarkAblationChurn(b *testing.B) {
+	for _, session := range []time.Duration{5 * time.Minute, 90 * time.Second} {
+		session := session
+		b.Run(fmt.Sprintf("session=%v", session), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunChurn(experiments.ChurnConfig{
+					Nodes: 48, MeanSession: session,
+					Duration: 2 * time.Minute, Lookups: 60,
+					Seed: int64(5000 + i),
+				})
+				if i == 0 {
+					b.Log("\n" + res.Render())
+				}
+				b.ReportMetric(res.SuccessPercent, "lookup-success-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSoftStateLifetime sweeps object lifetimes against
+// publisher work and recovery speed (§3.2.3).
+func BenchmarkAblationSoftStateLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSoftState(experiments.SoftStateConfig{Seed: int64(6000 + i)})
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		for _, o := range res.Outcomes {
+			b.ReportMetric(float64(o.RenewsSent), fmt.Sprintf("renews@%v", o.Lifetime))
+		}
+	}
+}
+
+// BenchmarkAblationQueryDissemination compares broadcast-tree reach and
+// cost against equality-index dissemination (§3.3.3).
+func BenchmarkAblationQueryDissemination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunDissemination(64, int64(7000+i))
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+		b.ReportMetric(float64(res.BroadcastMsgs), "broadcast-msgs")
+		b.ReportMetric(float64(res.EqualityMsgs), "equality-msgs")
+	}
+}
+
+// BenchmarkAblationCongestionModels exercises the simulator's three
+// congestion models (§3.1.4) on a contended access link and reports how
+// long a 100-message burst takes to drain under each.
+func BenchmarkAblationCongestionModels(b *testing.B) {
+	models := map[string]func() sim.CongestionModel{
+		"none": func() sim.CongestionModel { return sim.NoCongestion{} },
+		"fifo": func() sim.CongestionModel { return &sim.FIFOQueue{BytesPerSecond: 125_000} },
+		"fair": func() sim.CongestionModel { return &sim.FairQueue{BytesPerSecond: 125_000} },
+	}
+	for name, mk := range models {
+		name, mk := name, mk
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv(sim.Options{Seed: int64(i), Congestion: mk()})
+				a := env.Spawn("a")
+				dsts := env.SpawnN("d", 4)
+				received := 0
+				start := env.Now()
+				last := start
+				for _, d := range dsts {
+					_ = d.Listen(vri.PortQuery, func(vri.Addr, []byte) {
+						received++
+						last = env.Now()
+					})
+				}
+				payload := make([]byte, 1200)
+				for m := 0; m < 100; m++ {
+					a.Send(dsts[m%len(dsts)].Addr(), vri.PortQuery, payload, nil)
+				}
+				env.Run(time.Minute)
+				if received != 100 {
+					b.Fatalf("delivered %d/100", received)
+				}
+				b.ReportMetric(last.Sub(start).Seconds(), "burst-drain-s")
+			}
+		})
+	}
+}
+
+// --- Microbenchmarks on the hot paths -------------------------------
+
+// BenchmarkTupleEncodeDecode measures the self-describing tuple codec.
+func BenchmarkTupleEncodeDecode(b *testing.B) {
+	t := tuple.New("fwlogs").
+		Set("src", tuple.String("10.20.30.40")).
+		Set("dstport", tuple.Int(443)).
+		Set("severity", tuple.Int(3)).
+		Set("note", tuple.String("blocked inbound probe"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := t.Encode()
+		if _, err := tuple.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireWriter measures the message builder used for every
+// network message.
+func BenchmarkWireWriter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := wire.NewWriter(64)
+		w.U8(1)
+		w.U64(uint64(i))
+		w.String("namespace")
+		w.String("partitioning-key")
+		w.Bytes32([]byte("payload payload payload"))
+		_ = w.Bytes()
+	}
+}
+
+// BenchmarkExprEval measures predicate evaluation (the Select hot path).
+func BenchmarkExprEval(b *testing.B) {
+	e := expr.MustParse("severity >= 3 AND contains(src, '10.') AND dstport != 80")
+	t := tuple.New("fw").
+		Set("src", tuple.String("10.1.2.3")).
+		Set("dstport", tuple.Int(443)).
+		Set("severity", tuple.Int(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Eval(t); !ok {
+			b.Fatal("malformed")
+		}
+	}
+}
+
+// BenchmarkSymmetricHashJoin measures local join throughput.
+func BenchmarkSymmetricHashJoin(b *testing.B) {
+	b.ReportAllocs()
+	j := exec.NewSymmetricHashJoin([]string{"id"}, []string{"id"})
+	sink := exec.SinkFunc(func(exec.Tag, *tuple.Tuple) {})
+	j.SetParent(sink)
+	rows := make([]*tuple.Tuple, 1024)
+	for i := range rows {
+		rows[i] = tuple.New("r").Set("id", tuple.Int(int64(i%128))).Set("v", tuple.Int(int64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := exec.Tag(i + 1) // fresh probe per iteration bounds state
+		j.PushLeft(tag, rows[i%len(rows)])
+		j.PushRight(tag, rows[(i+7)%len(rows)])
+	}
+}
+
+// BenchmarkGroupSetAdd measures the aggregation inner loop.
+func BenchmarkGroupSetAdd(b *testing.B) {
+	g := exec.NewGroupSet([]string{"src"}, []exec.AggSpec{
+		{Kind: exec.AggCount, As: "cnt"},
+		{Kind: exec.AggSum, Col: "bytes", As: "total"},
+	})
+	rows := make([]*tuple.Tuple, 64)
+	for i := range rows {
+		rows[i] = tuple.New("fw").
+			Set("src", tuple.String(fmt.Sprintf("10.0.0.%d", i%16))).
+			Set("bytes", tuple.Int(int64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkBloomFilter measures membership probes.
+func BenchmarkBloomFilter(b *testing.B) {
+	f := bloom.New(10_000, 0.01)
+	for i := 0; i < 10_000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContainString("key-5000")
+	}
+}
+
+// BenchmarkDHTPutGet measures an end-to-end overlay put+get pair in a
+// 16-node simulated ring, in virtual operations per wall second.
+func BenchmarkDHTPutGet(b *testing.B) {
+	env := sim.NewEnv(sim.Options{Seed: 99})
+	nodes := env.SpawnN("n", 16)
+	dhts := make([]*overlay.DHT, len(nodes))
+	for i, nd := range nodes {
+		dhts[i] = overlay.New(nd, overlay.Config{MaxLifetime: 24 * time.Hour})
+		if err := dhts[i].Start(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 1; i < len(dhts); i++ {
+		dhts[i].Join(dhts[0].Addr(), nil)
+		env.Run(2 * time.Second)
+	}
+	env.Run(60 * time.Second)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := dhts[rng.Intn(len(dhts))]
+		dst := dhts[rng.Intn(len(dhts))]
+		key := fmt.Sprintf("k-%d", i)
+		stored := false
+		src.Put("bench", key, "s", []byte("v"), time.Hour, func(ok bool) { stored = ok })
+		env.Run(3 * time.Second)
+		if !stored {
+			b.Fatal("put failed")
+		}
+		var got []overlay.Object
+		dst.Get("bench", key, func(objs []overlay.Object, err error) { got = objs })
+		env.Run(3 * time.Second)
+		if len(got) != 1 {
+			b.Fatal("get failed")
+		}
+	}
+}
+
+// BenchmarkSimulatorEventThroughput measures raw discrete-event
+// dispatch: how many simulated message deliveries per wall second the
+// Simulation Environment sustains — the capacity bound on "thousands of
+// virtual nodes on a single physical machine" (§3.1.4).
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	env := sim.NewEnv(sim.Options{Seed: 1})
+	nodes := env.SpawnN("n", 100)
+	for _, n := range nodes {
+		n := n
+		_ = n.Listen(vri.PortQuery, func(src vri.Addr, p []byte) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := nodes[i%len(nodes)]
+		dst := nodes[(i*13+7)%len(nodes)]
+		src.Send(dst.Addr(), vri.PortQuery, []byte("x"), nil)
+		if i%1024 == 1023 {
+			env.Drain()
+		}
+	}
+	env.Drain()
+}

@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's figures and the ablation
+// studies from DESIGN.md, printing the same rows/series the paper
+// reports. The bench targets in bench_test.go run identical harnesses
+// under testing.B; this binary is the human-friendly front door.
+//
+//	experiments -fig 1               # Figure 1 CDFs (paper scale: 50 nodes)
+//	experiments -fig 2               # Figure 2 top-10 (paper scale: 350 nodes)
+//	experiments -ablation joins
+//	experiments -ablation hieragg
+//	experiments -ablation churn
+//	experiments -ablation softstate
+//	experiments -ablation dissemination
+//	experiments -ablation all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pier/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (1 or 2)")
+	ablation := flag.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|all)")
+	nodes := flag.Int("nodes", 0, "override deployment size")
+	queries := flag.Int("queries", 0, "override query count (figure 1)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	ran := false
+	if *fig == 1 {
+		ran = true
+		fmt.Println("=== Figure 1: CDF of first-result latency (PIER vs Gnutella) ===")
+		res := experiments.RunFigure1(experiments.Figure1Config{
+			Nodes: *nodes, Queries: *queries, Seed: *seed,
+		})
+		fmt.Print(res.Render())
+		ph, pm := res.PierRare.Count()
+		gh, gm := res.GnutellaRare.Count()
+		ah, am := res.GnutellaAll.Count()
+		fmt.Printf("\nrecall: PIER(rare) %d/%d, Gnutella(all) %d/%d, Gnutella(rare) %d/%d\n",
+			ph, ph+pm, ah, ah+am, gh, gh+gm)
+		fmt.Printf("messages: PIER %d, Gnutella %d\n", res.PierMsgs, res.GnutellaMsgs)
+	}
+	if *fig == 2 {
+		ran = true
+		fmt.Println("=== Figure 2: top-10 sources of firewall events ===")
+		res := experiments.RunFigure2(experiments.Figure2Config{Nodes: *nodes, Seed: *seed})
+		fmt.Print(res.Render())
+		fmt.Printf("\ntop-10 overlap with ground truth: %d/10\n", res.TopOverlap())
+	}
+
+	run := func(name string) {
+		ran = true
+		switch name {
+		case "joins":
+			fmt.Println("=== Ablation §3.3.4: join strategies ===")
+			fmt.Print(experiments.RunJoinStrategies(experiments.JoinStrategiesConfig{Seed: *seed}).Render())
+		case "hieragg":
+			fmt.Println("=== Ablation §3.3.4: hierarchical vs direct aggregation ===")
+			fmt.Print(experiments.RunHierAgg(experiments.HierAggConfig{Seed: *seed}).Render())
+		case "churn":
+			fmt.Println("=== Ablation §3.2.2: lookups under churn ===")
+			for _, session := range []time.Duration{5 * time.Minute, 2 * time.Minute, time.Minute} {
+				fmt.Print(experiments.RunChurn(experiments.ChurnConfig{
+					MeanSession: session, Seed: *seed,
+				}).Render())
+			}
+		case "softstate":
+			fmt.Println("=== Ablation §3.2.3: soft-state lifetime trade-off ===")
+			fmt.Print(experiments.RunSoftState(experiments.SoftStateConfig{Seed: *seed}).Render())
+		case "dissemination":
+			fmt.Println("=== Ablation §3.3.3: dissemination strategies ===")
+			fmt.Print(experiments.RunDissemination(0, *seed).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+	switch *ablation {
+	case "":
+	case "all":
+		for _, name := range []string{"joins", "hieragg", "churn", "softstate", "dissemination"} {
+			run(name)
+		}
+	default:
+		run(*ablation)
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,154 @@
+// Package bloom provides the Bloom filter used by PIER's bandwidth-
+// reducing join rewrites (paper §2.1.1: "PIER minimizes network
+// bandwidth consumption via fairly traditional bandwidth-reducing
+// algorithms (e.g., Bloom joins)"; §3.3.4: "common rewrite strategies
+// such as Bloom join and semi-joins can be constructed").
+//
+// In a distributed Bloom join, each site summarizes the join keys of one
+// relation into a filter, the filters are OR-merged at a rendezvous, and
+// the other relation ships only the tuples whose keys might match —
+// trading a small false-positive rate for a large reduction in rehash
+// traffic.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"pier/internal/wire"
+)
+
+// Filter is a classic k-hash-function Bloom filter over byte strings.
+type Filter struct {
+	bits []uint64
+	m    uint32 // number of bits
+	k    uint32 // number of hash functions
+	n    uint64 // elements added (for stats; merged filters sum)
+}
+
+// New creates a filter sized for the expected number of elements and
+// target false-positive probability. Both are clamped to sane minima.
+func New(expected int, fpRate float64) *Filter {
+	if expected < 1 {
+		expected = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	// Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+	m := uint32(math.Ceil(-float64(expected) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(float64(m) / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// hashPair derives the two base hashes for Kirsch–Mitzenmacher double
+// hashing.
+func hashPair(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e}) // cheap second stream
+	h2 := h.Sum64()
+	if h2%2 == 0 { // h2 must be odd so strides cover the table
+		h2++
+	}
+	return h1, h2
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := uint32((h1 + uint64(i)*h2) % uint64(f.m))
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(key string) { f.Add([]byte(key)) }
+
+// MayContain reports whether key is possibly in the set. False means
+// definitely absent; true may be a false positive.
+func (f *Filter) MayContain(key []byte) bool {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := uint32((h1 + uint64(i)*h2) % uint64(f.m))
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContainString is MayContain for a string key.
+func (f *Filter) MayContainString(key string) bool { return f.MayContain([]byte(key)) }
+
+// Merge ORs another filter of identical geometry into this one — the
+// rendezvous step of a distributed Bloom join. It fails on mismatched
+// geometry (filters built with different parameters cannot be combined).
+func (f *Filter) Merge(o *Filter) error {
+	if f.m != o.m || f.k != o.k {
+		return fmt.Errorf("bloom: geometry mismatch (m=%d/%d k=%d/%d)", f.m, o.m, f.k, o.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= o.bits[i]
+	}
+	f.n += o.n
+	return nil
+}
+
+// Count returns the number of Add calls folded into the filter.
+func (f *Filter) Count() uint64 { return f.n }
+
+// FillRatio returns the fraction of set bits — a saturation diagnostic.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return float64(set) / float64(f.m)
+}
+
+// Encode serializes the filter for shipping through the DHT.
+func (f *Filter) Encode() []byte {
+	w := wire.NewWriter(16 + 8*len(f.bits))
+	w.U32(f.m)
+	w.U32(f.k)
+	w.U64(f.n)
+	w.U32(uint32(len(f.bits)))
+	for _, word := range f.bits {
+		w.U64(word)
+	}
+	return w.Bytes()
+}
+
+// Decode parses an encoded filter.
+func Decode(b []byte) (*Filter, error) {
+	r := wire.NewReader(b)
+	f := &Filter{m: r.U32(), k: r.U32(), n: r.U64()}
+	nw := int(r.U32())
+	if r.Err() == nil && nw != int((f.m+63)/64) {
+		return nil, fmt.Errorf("bloom: inconsistent word count %d for m=%d", nw, f.m)
+	}
+	f.bits = make([]uint64, 0, nw)
+	for i := 0; i < nw && r.Err() == nil; i++ {
+		f.bits = append(f.bits, r.U64())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

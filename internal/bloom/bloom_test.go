@@ -1,0 +1,150 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContainString(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative on key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContainString(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false-positive rate %.4f far above 1%% target", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	if f.MayContainString("anything") {
+		t.Error("empty filter claims membership")
+	}
+	if f.FillRatio() != 0 {
+		t.Error("empty filter has set bits")
+	}
+}
+
+func TestMergeUnionsMembership(t *testing.T) {
+	a := New(100, 0.01)
+	b := New(100, 0.01)
+	a.AddString("only-a")
+	b.AddString("only-b")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.MayContainString("only-a") || !a.MayContainString("only-b") {
+		t.Error("merge lost membership")
+	}
+	if a.Count() != 2 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+}
+
+func TestMergeGeometryMismatch(t *testing.T) {
+	a := New(100, 0.01)
+	b := New(100000, 0.001)
+	if err := a.Merge(b); err == nil {
+		t.Error("mismatched geometry must not merge")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := New(500, 0.02)
+	for i := 0; i < 500; i++ {
+		f.AddString(fmt.Sprintf("k%d", i))
+	}
+	g, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if !g.MayContainString(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("decoded filter lost k%d", i)
+		}
+	}
+	if g.Count() != f.Count() {
+		t.Error("count not preserved")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage decoded")
+	}
+	// Inconsistent header: claims m=64 (1 word) but 9999 words.
+	f := New(10, 0.01)
+	enc := f.Encode()
+	enc[12+4-1] = 0xff // corrupt word count low byte region
+	if _, err := Decode(enc[:16]); err == nil {
+		t.Error("truncated filter decoded")
+	}
+}
+
+func TestPropertyAddedKeysAlwaysFound(t *testing.T) {
+	check := func(keys [][]byte, probe []byte) bool {
+		f := New(len(keys)+1, 0.01)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMergeEquivalentToUnion(t *testing.T) {
+	check := func(as, bs [][]byte) bool {
+		merged := New(64, 0.01)
+		union := New(64, 0.01)
+		other := New(64, 0.01)
+		for _, k := range as {
+			merged.Add(k)
+			union.Add(k)
+		}
+		for _, k := range bs {
+			other.Add(k)
+			union.Add(k)
+		}
+		if err := merged.Merge(other); err != nil {
+			return false
+		}
+		// Identical bit patterns imply identical membership answers.
+		for i := range merged.bits {
+			if merged.bits[i] != union.bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

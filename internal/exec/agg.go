@@ -1,0 +1,297 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"pier/internal/tuple"
+	"pier/internal/wire"
+)
+
+// Aggregate machinery. PIER distinguishes distributive (count, sum, min,
+// max), algebraic (avg — constant-size partial state), and holistic
+// (count-distinct — state grows with input) aggregates; only the first
+// two benefit from hierarchical in-network computation (§3.3.4). Agg
+// states encode to the wire so partial aggregates can be shipped up an
+// aggregation tree and merged hop by hop.
+
+// AggKind identifies an aggregate function.
+type AggKind uint8
+
+// Supported aggregate functions.
+const (
+	AggCount AggKind = iota + 1
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggCountDistinct
+)
+
+// String names the aggregate in SQL style.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggCountDistinct:
+		return "countdistinct"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(k))
+	}
+}
+
+// ParseAggKind maps a SQL-ish name to the kind.
+func ParseAggKind(name string) (AggKind, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	case "avg":
+		return AggAvg, true
+	case "countdistinct", "count_distinct":
+		return AggCountDistinct, true
+	default:
+		return 0, false
+	}
+}
+
+// Holistic reports whether the aggregate's partial state grows with the
+// input, making hierarchical computation unattractive (§3.3.4).
+func (k AggKind) Holistic() bool { return k == AggCountDistinct }
+
+// AggState accumulates one group's aggregate.
+type AggState interface {
+	// Add folds in one raw input value. Incompatible values are ignored
+	// (best-effort policy).
+	Add(v tuple.Value)
+	// Merge folds another partial state of the same kind into this one.
+	Merge(other AggState)
+	// Result produces the final value. Empty states yield kind-specific
+	// identity (count 0, sum 0, min/max/avg null).
+	Result() tuple.Value
+	// EncodeTo serializes the partial state for network shipping.
+	EncodeTo(w *wire.Writer)
+}
+
+// NewAggState creates an empty accumulator for kind.
+func NewAggState(kind AggKind) AggState {
+	switch kind {
+	case AggCount:
+		return &countState{}
+	case AggSum:
+		return &sumState{}
+	case AggMin:
+		return &minMaxState{min: true}
+	case AggMax:
+		return &minMaxState{}
+	case AggAvg:
+		return &avgState{}
+	case AggCountDistinct:
+		return &distinctState{seen: make(map[string]struct{})}
+	default:
+		return &countState{}
+	}
+}
+
+// DecodeAggState reads a partial state of the given kind.
+func DecodeAggState(kind AggKind, r *wire.Reader) AggState {
+	s := NewAggState(kind)
+	switch st := s.(type) {
+	case *countState:
+		st.n = r.I64()
+	case *sumState:
+		st.f = r.F64()
+		st.i = r.I64()
+		st.isFloat = r.Bool()
+		st.any = r.Bool()
+	case *minMaxState:
+		st.min = r.Bool()
+		st.any = r.Bool()
+		if st.any {
+			tp := tuple.DecodeFrom(r)
+			if v, ok := tp.Get("v"); ok {
+				st.best = v
+			}
+		}
+	case *avgState:
+		st.sum = r.F64()
+		st.n = r.I64()
+	case *distinctState:
+		n := int(r.U32())
+		for i := 0; i < n && r.Err() == nil; i++ {
+			st.seen[r.String()] = struct{}{}
+		}
+	}
+	return s
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Add(tuple.Value)         { s.n++ }
+func (s *countState) Merge(o AggState)        { s.n += o.(*countState).n }
+func (s *countState) Result() tuple.Value     { return tuple.Int(s.n) }
+func (s *countState) EncodeTo(w *wire.Writer) { w.I64(s.n) }
+
+type sumState struct {
+	i       int64
+	f       float64
+	isFloat bool
+	any     bool
+}
+
+func (s *sumState) Add(v tuple.Value) {
+	if i, ok := v.AsInt(); ok {
+		s.i += i
+		s.any = true
+		return
+	}
+	if f, ok := v.AsFloat(); ok {
+		if !s.isFloat {
+			s.f = float64(s.i)
+			s.isFloat = true
+		}
+		s.f += f
+		s.any = true
+	}
+}
+
+func (s *sumState) Merge(o AggState) {
+	so := o.(*sumState)
+	if !so.any {
+		return
+	}
+	if so.isFloat || s.isFloat {
+		sf, _ := s.Result().AsFloat()
+		of, _ := so.Result().AsFloat()
+		s.isFloat = true
+		s.f = sf + of
+	} else {
+		s.i += so.i
+	}
+	s.any = true
+}
+
+func (s *sumState) Result() tuple.Value {
+	if s.isFloat {
+		return tuple.Float(s.f)
+	}
+	return tuple.Int(s.i)
+}
+
+func (s *sumState) EncodeTo(w *wire.Writer) {
+	w.F64(s.f)
+	w.I64(s.i)
+	w.Bool(s.isFloat)
+	w.Bool(s.any)
+}
+
+type minMaxState struct {
+	min  bool
+	any  bool
+	best tuple.Value
+}
+
+func (s *minMaxState) Add(v tuple.Value) {
+	if v.IsNull() {
+		return
+	}
+	if !s.any {
+		s.best = v
+		s.any = true
+		return
+	}
+	c, ok := tuple.Compare(v, s.best)
+	if !ok {
+		return
+	}
+	if (s.min && c < 0) || (!s.min && c > 0) {
+		s.best = v
+	}
+}
+
+func (s *minMaxState) Merge(o AggState) {
+	so := o.(*minMaxState)
+	if so.any {
+		s.Add(so.best)
+	}
+}
+
+func (s *minMaxState) Result() tuple.Value {
+	if !s.any {
+		return tuple.Null()
+	}
+	return s.best
+}
+
+func (s *minMaxState) EncodeTo(w *wire.Writer) {
+	w.Bool(s.min)
+	w.Bool(s.any)
+	if s.any {
+		// Reuse the tuple codec for the single value.
+		tuple.New("").Set("v", s.best).EncodeTo(w)
+	}
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Add(v tuple.Value) {
+	if f, ok := v.AsFloat(); ok {
+		s.sum += f
+		s.n++
+	}
+}
+
+func (s *avgState) Merge(o AggState) {
+	so := o.(*avgState)
+	s.sum += so.sum
+	s.n += so.n
+}
+
+func (s *avgState) Result() tuple.Value {
+	if s.n == 0 {
+		return tuple.Null()
+	}
+	return tuple.Float(s.sum / float64(s.n))
+}
+
+func (s *avgState) EncodeTo(w *wire.Writer) {
+	w.F64(s.sum)
+	w.I64(s.n)
+}
+
+type distinctState struct {
+	seen map[string]struct{}
+}
+
+func (s *distinctState) Add(v tuple.Value) { s.seen[v.KeyString()] = struct{}{} }
+
+func (s *distinctState) Merge(o AggState) {
+	for k := range o.(*distinctState).seen {
+		s.seen[k] = struct{}{}
+	}
+}
+
+func (s *distinctState) Result() tuple.Value { return tuple.Int(int64(len(s.seen))) }
+
+func (s *distinctState) EncodeTo(w *wire.Writer) {
+	w.U32(uint32(len(s.seen)))
+	for k := range s.seen {
+		w.String(k)
+	}
+}

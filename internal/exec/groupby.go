@@ -1,0 +1,324 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"pier/internal/tuple"
+	"pier/internal/wire"
+)
+
+// AggSpec declares one aggregate output column.
+type AggSpec struct {
+	Kind AggKind
+	// Col is the input column to aggregate; empty means count(*) — every
+	// tuple counts regardless of columns.
+	Col string
+	// As is the output column name; defaults to kind(col).
+	As string
+}
+
+// OutName returns the output column name.
+func (a AggSpec) OutName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Col == "" {
+		return fmt.Sprintf("%s(*)", a.Kind)
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, a.Col)
+}
+
+// GroupSet is the shared aggregation core: a keyed collection of
+// aggregate states. The GroupBy operator wraps one GroupSet per probe;
+// the query processor's hierarchical aggregation (§3.3.4) uses GroupSets
+// directly, shipping encoded partials up the aggregation tree and merging
+// them hop by hop.
+type GroupSet struct {
+	Keys []string
+	Aggs []AggSpec
+
+	groups map[string]*groupEntry
+	order  []string // insertion order, for deterministic emission
+}
+
+type groupEntry struct {
+	key    *tuple.Tuple // the group's key columns
+	states []AggState
+}
+
+// NewGroupSet creates an empty aggregation table.
+func NewGroupSet(keys []string, aggs []AggSpec) *GroupSet {
+	return &GroupSet{Keys: keys, Aggs: aggs, groups: make(map[string]*groupEntry)}
+}
+
+// Len returns the number of groups.
+func (g *GroupSet) Len() int { return len(g.groups) }
+
+// Add folds one raw tuple into its group. Tuples missing a key column are
+// discarded (malformed policy); missing aggregate inputs simply do not
+// contribute to that aggregate.
+func (g *GroupSet) Add(t *tuple.Tuple) bool {
+	key := ""
+	if len(g.Keys) > 0 {
+		k, ok := t.KeyString(g.Keys...)
+		if !ok {
+			return false
+		}
+		key = k
+	}
+	e := g.groups[key]
+	if e == nil {
+		keyTuple := tuple.New(t.Table()).Project() // empty, same table
+		for _, kc := range g.Keys {
+			v, _ := t.Get(kc)
+			keyTuple.Set(kc, v)
+		}
+		e = &groupEntry{key: keyTuple, states: make([]AggState, len(g.Aggs))}
+		for i, a := range g.Aggs {
+			e.states[i] = NewAggState(a.Kind)
+		}
+		g.groups[key] = e
+		g.order = append(g.order, key)
+	}
+	for i, a := range g.Aggs {
+		if a.Col == "" {
+			e.states[i].Add(tuple.Null())
+			continue
+		}
+		if v, ok := t.Get(a.Col); ok {
+			e.states[i].Add(v)
+		}
+	}
+	return true
+}
+
+// Merge folds another GroupSet with the identical spec into this one.
+func (g *GroupSet) Merge(o *GroupSet) {
+	for _, key := range o.order {
+		oe := o.groups[key]
+		e := g.groups[key]
+		if e == nil {
+			g.groups[key] = oe
+			g.order = append(g.order, key)
+			continue
+		}
+		for i := range e.states {
+			e.states[i].Merge(oe.states[i])
+		}
+	}
+}
+
+// Encode serializes the whole partial-aggregate table for shipping up an
+// aggregation tree.
+func (g *GroupSet) Encode() []byte {
+	w := wire.NewWriter(64 + 32*len(g.groups))
+	w.U32(uint32(len(g.order)))
+	for _, key := range g.order {
+		e := g.groups[key]
+		w.String(key)
+		e.key.EncodeTo(w)
+		for _, s := range e.states {
+			s.EncodeTo(w)
+		}
+	}
+	return w.Bytes()
+}
+
+// MergeEncoded merges a serialized GroupSet (with the identical spec)
+// into this one. Malformed input is reported, leaving this set intact for
+// the groups already merged.
+func (g *GroupSet) MergeEncoded(b []byte) error {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		key := r.String()
+		keyTuple := tuple.DecodeFrom(r)
+		states := make([]AggState, len(g.Aggs))
+		for j, a := range g.Aggs {
+			states[j] = DecodeAggState(a.Kind, r)
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		e := g.groups[key]
+		if e == nil {
+			g.groups[key] = &groupEntry{key: keyTuple, states: states}
+			g.order = append(g.order, key)
+			continue
+		}
+		for j := range e.states {
+			e.states[j].Merge(states[j])
+		}
+	}
+	return r.Err()
+}
+
+// Emit produces one result tuple per group: the key columns followed by
+// one column per aggregate. Emission follows group-creation order.
+func (g *GroupSet) Emit(table string, fn func(*tuple.Tuple)) {
+	for _, key := range g.order {
+		e := g.groups[key]
+		out := tuple.New(table)
+		for _, kc := range g.Keys {
+			if v, ok := e.key.Get(kc); ok {
+				out.Set(kc, v)
+			}
+		}
+		for i, a := range g.Aggs {
+			out.Set(a.OutName(), e.states[i].Result())
+		}
+		fn(out)
+	}
+}
+
+// Reset clears all groups.
+func (g *GroupSet) Reset() {
+	g.groups = make(map[string]*groupEntry)
+	g.order = nil
+}
+
+// GroupBy is the aggregation operator: it absorbs input tuples into
+// per-probe GroupSets and emits one tuple per group when flushed. PIER
+// has no EOF, so emission is driven by the query timeout or a periodic
+// timer (§3.3.2); Flush emits and resets, giving per-window semantics for
+// continuous queries.
+type GroupBy struct {
+	base
+	Keys []string
+	Aggs []AggSpec
+	// OutTable names emitted tuples; defaults to "groupby".
+	OutTable string
+	Dropped  Discarded
+
+	sets  map[Tag]*GroupSet
+	child Op
+}
+
+// NewGroupBy creates an aggregation operator.
+func NewGroupBy(keys []string, aggs []AggSpec) *GroupBy {
+	return &GroupBy{Keys: keys, Aggs: aggs, OutTable: "groupby", sets: make(map[Tag]*GroupSet)}
+}
+
+// SetChild wires the child for control propagation.
+func (g *GroupBy) SetChild(c Op) { g.child = c; c.SetParent(g) }
+
+// Open forwards the probe.
+func (g *GroupBy) Open(tag Tag) {
+	if g.child != nil {
+		g.child.Open(tag)
+	}
+}
+
+// Push absorbs one tuple into its group.
+func (g *GroupBy) Push(tag Tag, t *tuple.Tuple) {
+	set := g.sets[tag]
+	if set == nil {
+		set = NewGroupSet(g.Keys, g.Aggs)
+		g.sets[tag] = set
+	}
+	if !set.Add(t) {
+		g.Dropped.inc()
+	}
+}
+
+// Flush emits the accumulated groups downstream and resets the window.
+func (g *GroupBy) Flush(tag Tag) {
+	if g.child != nil {
+		g.child.Flush(tag)
+	}
+	set := g.sets[tag]
+	if set == nil {
+		return
+	}
+	set.Emit(g.OutTable, func(t *tuple.Tuple) { g.emit(tag, t) })
+	delete(g.sets, tag)
+}
+
+// Close drops all state.
+func (g *GroupBy) Close() {
+	g.sets = make(map[Tag]*GroupSet)
+	if g.child != nil {
+		g.child.Close()
+	}
+}
+
+// TopK retains the K tuples with the greatest (or least) value of a
+// column and emits them in order on Flush. It is the final step of
+// queries like Figure 2's "top ten sources of firewall events".
+type TopK struct {
+	base
+	K   int
+	Col string
+	// Ascending selects the K smallest instead of the K largest.
+	Ascending bool
+	Dropped   Discarded
+
+	heaps map[Tag][]topkItem
+	child Op
+}
+
+type topkItem struct {
+	v tuple.Value
+	t *tuple.Tuple
+}
+
+// NewTopK creates a top-k operator on col (descending by default).
+func NewTopK(k int, col string) *TopK {
+	return &TopK{K: k, Col: col, heaps: make(map[Tag][]topkItem)}
+}
+
+// SetChild wires the child for control propagation.
+func (tk *TopK) SetChild(c Op) { tk.child = c; c.SetParent(tk) }
+
+// Open forwards the probe.
+func (tk *TopK) Open(tag Tag) {
+	if tk.child != nil {
+		tk.child.Open(tag)
+	}
+}
+
+// Push considers one tuple for the running top-K.
+func (tk *TopK) Push(tag Tag, t *tuple.Tuple) {
+	v, ok := t.Get(tk.Col)
+	if !ok {
+		tk.Dropped.inc()
+		return
+	}
+	items := append(tk.heaps[tag], topkItem{v: v, t: t})
+	// K is small (10 in Figure 2); sort-and-trim keeps the code simple
+	// and the cost K·log K per insert batch.
+	sort.SliceStable(items, func(i, j int) bool {
+		c, ok := tuple.Compare(items[i].v, items[j].v)
+		if !ok {
+			return false
+		}
+		if tk.Ascending {
+			return c < 0
+		}
+		return c > 0
+	})
+	if len(items) > tk.K {
+		items = items[:tk.K]
+	}
+	tk.heaps[tag] = items
+}
+
+// Flush emits the retained tuples in rank order and resets.
+func (tk *TopK) Flush(tag Tag) {
+	if tk.child != nil {
+		tk.child.Flush(tag)
+	}
+	for _, it := range tk.heaps[tag] {
+		tk.emit(tag, it.t)
+	}
+	delete(tk.heaps, tag)
+}
+
+// Close drops all state.
+func (tk *TopK) Close() {
+	tk.heaps = make(map[Tag][]topkItem)
+	if tk.child != nil {
+		tk.child.Close()
+	}
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"pier/internal/tuple"
+)
+
+// SymmetricHashJoin implements the pipelining, non-blocking equijoin of
+// Wilschut & Apers used by PIER (§3.3.4): both inputs build hash tables;
+// each arriving tuple inserts into its own side's table and immediately
+// probes the other side's, so results stream out as soon as both matching
+// tuples have arrived, with no blocking build phase. All state is in
+// memory — PIER's operators do not spill (§3.3.4).
+//
+// In distributed plans the two inputs are typically DHT namespaces into
+// which a previous opgraph rehashed the relations (partitioned
+// parallelism, §3.3.6); locally the operator just sees two child streams.
+type SymmetricHashJoin struct {
+	base
+	// LeftKeys/RightKeys are the equijoin columns for each input.
+	LeftKeys, RightKeys []string
+	// OutTable names emitted join tuples.
+	OutTable string
+	// PrefixCols qualifies output columns with their source table name.
+	PrefixCols bool
+	Dropped    Discarded
+
+	left, right   Op
+	leftT, rightT map[Tag]map[string][]*tuple.Tuple
+}
+
+// NewSymmetricHashJoin creates a symmetric hash equijoin.
+func NewSymmetricHashJoin(leftKeys, rightKeys []string) *SymmetricHashJoin {
+	return &SymmetricHashJoin{
+		LeftKeys:   leftKeys,
+		RightKeys:  rightKeys,
+		OutTable:   "join",
+		PrefixCols: true,
+		leftT:      make(map[Tag]map[string][]*tuple.Tuple),
+		rightT:     make(map[Tag]map[string][]*tuple.Tuple),
+	}
+}
+
+// SetLeft wires the left input subtree.
+func (j *SymmetricHashJoin) SetLeft(c Op) { j.left = c; c.SetParent(SinkFunc(j.pushLeft)) }
+
+// SetRight wires the right input subtree.
+func (j *SymmetricHashJoin) SetRight(c Op) { j.right = c; c.SetParent(SinkFunc(j.pushRight)) }
+
+// Open forwards the probe to both inputs.
+func (j *SymmetricHashJoin) Open(tag Tag) {
+	if j.left != nil {
+		j.left.Open(tag)
+	}
+	if j.right != nil {
+		j.right.Open(tag)
+	}
+}
+
+// Push routes a direct push (no slot information) to the left input; in
+// wired graphs SetLeft/SetRight intercept pushes per side.
+func (j *SymmetricHashJoin) Push(tag Tag, t *tuple.Tuple) { j.pushLeft(tag, t) }
+
+// PushLeft and PushRight are the two input ports, exported for graphs
+// built by hand or by the UFL loader.
+func (j *SymmetricHashJoin) PushLeft(tag Tag, t *tuple.Tuple) { j.pushLeft(tag, t) }
+
+// PushRight delivers a tuple to the right input port.
+func (j *SymmetricHashJoin) PushRight(tag Tag, t *tuple.Tuple) { j.pushRight(tag, t) }
+
+func (j *SymmetricHashJoin) pushLeft(tag Tag, t *tuple.Tuple) {
+	j.insertAndProbe(tag, t, j.LeftKeys, j.leftT, j.rightT, true)
+}
+
+func (j *SymmetricHashJoin) pushRight(tag Tag, t *tuple.Tuple) {
+	j.insertAndProbe(tag, t, j.RightKeys, j.rightT, j.leftT, false)
+}
+
+func (j *SymmetricHashJoin) insertAndProbe(
+	tag Tag, t *tuple.Tuple, keys []string,
+	mine, theirs map[Tag]map[string][]*tuple.Tuple, fromLeft bool,
+) {
+	key, ok := t.KeyString(keys...)
+	if !ok {
+		j.Dropped.inc()
+		return
+	}
+	m := mine[tag]
+	if m == nil {
+		m = make(map[string][]*tuple.Tuple)
+		mine[tag] = m
+	}
+	m[key] = append(m[key], t)
+	for _, match := range theirs[tag][key] {
+		var out *tuple.Tuple
+		if fromLeft {
+			out = tuple.Join(j.OutTable, t, match, j.PrefixCols)
+		} else {
+			out = tuple.Join(j.OutTable, match, t, j.PrefixCols)
+		}
+		j.emit(tag, out)
+	}
+}
+
+// Flush forwards to both inputs; the join itself emits eagerly and holds
+// no deferred output.
+func (j *SymmetricHashJoin) Flush(tag Tag) {
+	if j.left != nil {
+		j.left.Flush(tag)
+	}
+	if j.right != nil {
+		j.right.Flush(tag)
+	}
+}
+
+// Close drops both hash tables.
+func (j *SymmetricHashJoin) Close() {
+	j.leftT = make(map[Tag]map[string][]*tuple.Tuple)
+	j.rightT = make(map[Tag]map[string][]*tuple.Tuple)
+	if j.left != nil {
+		j.left.Close()
+	}
+	if j.right != nil {
+		j.right.Close()
+	}
+}
+
+// StateSize reports resident tuples per side for the probe, for tests and
+// instrumentation.
+func (j *SymmetricHashJoin) StateSize(tag Tag) (left, right int) {
+	for _, v := range j.leftT[tag] {
+		left += len(v)
+	}
+	for _, v := range j.rightT[tag] {
+		right += len(v)
+	}
+	return
+}

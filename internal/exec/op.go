@@ -1,0 +1,90 @@
+// Package exec implements PIER's local dataflow engine (paper §3.3.4,
+// §3.3.5): the operators that make up an opgraph and the "non-blocking
+// iterator" discipline that connects them.
+//
+// PIER's event-driven core prohibits handlers from blocking, so the
+// classic pull iterator model is unusable. Instead control flows DOWN the
+// operator tree as probe requests (like iterator open), and data flows UP
+// via push: each operator calls its parent with a tuple as an argument
+// until the tuple is dropped (selection), absorbed into operator state
+// (join, group-by), or parked in an explicit Queue operator that yields
+// back to the scheduler. Every probe carries an arbitrary Tag so nested
+// probes can be arbitrarily reordered while operators still match data to
+// stored state — the non-blocking substitute for the iterator model's
+// single outstanding get-next (§3.3.5).
+//
+// Operators needing network services (DHT scans, rehash/put, Fetch
+// Matches joins, hierarchical aggregation) are assembled in package qp;
+// this package is purely node-local.
+package exec
+
+import (
+	"pier/internal/tuple"
+)
+
+// Tag identifies one probe: an asynchronous request for a set of data
+// issued from parent to child (§3.3.5). Tags travel with every pushed
+// tuple so state can be matched even when probes are reordered.
+type Tag uint64
+
+// Sink receives pushed tuples; parents implement Sink for their children.
+type Sink interface {
+	// Push delivers one tuple produced under the given probe tag. Push
+	// must not block; long work must be broken up via a Queue operator.
+	Push(tag Tag, t *tuple.Tuple)
+}
+
+// Op is one dataflow operator instance in an opgraph.
+type Op interface {
+	Sink
+	// SetParent wires the downstream sink that receives this operator's
+	// output. It must be called before Open.
+	SetParent(s Sink)
+	// Open propagates a probe request down the graph, setting up
+	// per-probe state on the heap. It corresponds to the iterator model's
+	// open call on the control channel.
+	Open(tag Tag)
+	// Flush forces stateful operators (joins, aggregates, top-k) to emit
+	// their current results downstream. PIER has no EOF — queries end by
+	// timeout (§3.3.2) — so the timeout (or a periodic timer for
+	// continuous queries) drives emission.
+	Flush(tag Tag)
+	// Close releases all operator state.
+	Close()
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(tag Tag, t *tuple.Tuple)
+
+// Push invokes the function.
+func (f SinkFunc) Push(tag Tag, t *tuple.Tuple) { f(tag, t) }
+
+// base provides the common parent wiring; operators embed it.
+type base struct {
+	parent Sink
+}
+
+// SetParent records the downstream sink.
+func (b *base) SetParent(s Sink) { b.parent = s }
+
+// emit pushes t to the parent if one is wired.
+func (b *base) emit(tag Tag, t *tuple.Tuple) {
+	if b.parent != nil {
+		b.parent.Push(tag, t)
+	}
+}
+
+// Discarded counts tuples dropped under the best-effort ("malformed
+// tuple") policy, per operator. Exposed for observability and tests.
+type Discarded struct {
+	n uint64
+}
+
+func (d *Discarded) inc() { d.n++ }
+
+// Inc records one discarded tuple; exported for operators implemented
+// outside this package (the query processor's network operators).
+func (d *Discarded) Inc() { d.n++ }
+
+// Count returns the number of tuples discarded so far.
+func (d *Discarded) Count() uint64 { return d.n }

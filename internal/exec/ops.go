@@ -1,0 +1,407 @@
+package exec
+
+import (
+	"pier/internal/expr"
+	"pier/internal/tuple"
+)
+
+// Input is the generic access-method endpoint: external code (a DHT scan,
+// a newData subscription, a file reader, a workload generator) injects
+// tuples by calling Push, and they flow up the opgraph. It corresponds to
+// the paper's access methods, which convert a source's native format into
+// PIER tuples and inject them into the dataflow (§3.3.1).
+type Input struct {
+	base
+	opened bool
+	tag    Tag
+	// OnOpen, if set, runs when the first probe arrives — access methods
+	// use it to register callbacks or start their source.
+	OnOpen func(tag Tag)
+}
+
+// NewInput creates an access-method endpoint.
+func NewInput() *Input { return &Input{} }
+
+// Open records the probe and triggers the source. Re-opening with the
+// same tag is a no-op: graphs with several roots (e.g. a Tee feeding two
+// terminal operators) propagate one probe down shared subtrees more than
+// once, and the access method must register its source exactly once.
+func (i *Input) Open(tag Tag) {
+	if i.opened && i.tag == tag {
+		return
+	}
+	i.opened = true
+	i.tag = tag
+	if i.OnOpen != nil {
+		i.OnOpen(tag)
+	}
+}
+
+// Push injects one tuple from the external source under the most recent
+// probe tag (sources push with the tag they were opened with).
+func (i *Input) Push(_ Tag, t *tuple.Tuple) {
+	if i.opened {
+		i.emit(i.tag, t)
+	}
+}
+
+// Inject is a convenience for external code that has no tag of its own.
+func (i *Input) Inject(t *tuple.Tuple) { i.Push(0, t) }
+
+// Flush does nothing: an input holds no tuples.
+func (i *Input) Flush(Tag) {}
+
+// Close marks the input closed.
+func (i *Input) Close() { i.opened = false }
+
+// Select filters tuples by a predicate. Tuples for which the predicate is
+// malformed (missing field, type mismatch) are discarded, per §3.3.4.
+type Select struct {
+	base
+	Pred expr.Expr
+	// Dropped counts tuples discarded as malformed (not merely filtered).
+	Dropped Discarded
+	child   Op
+}
+
+// NewSelect creates a selection with the given predicate.
+func NewSelect(pred expr.Expr) *Select { return &Select{Pred: pred} }
+
+// SetChild wires the child for control propagation.
+func (s *Select) SetChild(c Op) { s.child = c; c.SetParent(s) }
+
+// Open forwards the probe to the child.
+func (s *Select) Open(tag Tag) {
+	if s.child != nil {
+		s.child.Open(tag)
+	}
+}
+
+// Push applies the predicate.
+func (s *Select) Push(tag Tag, t *tuple.Tuple) {
+	v, ok := s.Pred.Eval(t)
+	if !ok {
+		s.Dropped.inc()
+		return
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		s.Dropped.inc()
+		return
+	}
+	if b {
+		s.emit(tag, t)
+	}
+}
+
+// Flush forwards to the child.
+func (s *Select) Flush(tag Tag) {
+	if s.child != nil {
+		s.child.Flush(tag)
+	}
+}
+
+// Close forwards to the child.
+func (s *Select) Close() {
+	if s.child != nil {
+		s.child.Close()
+	}
+}
+
+// ProjectCol is one output column: an expression and its output name.
+type ProjectCol struct {
+	Name string
+	E    expr.Expr
+}
+
+// Project evaluates expressions into a fresh tuple. A tuple for which any
+// projection expression is malformed is discarded.
+type Project struct {
+	base
+	Cols    []ProjectCol
+	Dropped Discarded
+	child   Op
+}
+
+// NewProject creates a projection.
+func NewProject(cols ...ProjectCol) *Project { return &Project{Cols: cols} }
+
+// SetChild wires the child for control propagation.
+func (p *Project) SetChild(c Op) { p.child = c; c.SetParent(p) }
+
+// Open forwards the probe.
+func (p *Project) Open(tag Tag) {
+	if p.child != nil {
+		p.child.Open(tag)
+	}
+}
+
+// Push evaluates every projection column.
+func (p *Project) Push(tag Tag, t *tuple.Tuple) {
+	out := tuple.New(t.Table())
+	for _, c := range p.Cols {
+		v, ok := c.E.Eval(t)
+		if !ok {
+			p.Dropped.inc()
+			return
+		}
+		out.Set(c.Name, v)
+	}
+	p.emit(tag, out)
+}
+
+// Flush forwards to the child.
+func (p *Project) Flush(tag Tag) {
+	if p.child != nil {
+		p.child.Flush(tag)
+	}
+}
+
+// Close forwards to the child.
+func (p *Project) Close() {
+	if p.child != nil {
+		p.child.Close()
+	}
+}
+
+// Tee replicates its input to several parents (the inverse of Union). It
+// is how one dataflow feeds both, say, a local result handler and a
+// network put.
+type Tee struct {
+	parents []Sink
+	child   Op
+}
+
+// NewTee creates an empty tee; add outputs with AddParent.
+func NewTee() *Tee { return &Tee{} }
+
+// SetParent adds (not replaces) an output; Tee keeps them all.
+func (t *Tee) SetParent(s Sink) { t.parents = append(t.parents, s) }
+
+// AddParent is explicit spelling of SetParent for multi-output wiring.
+func (t *Tee) AddParent(s Sink) { t.parents = append(t.parents, s) }
+
+// SetChild wires the child for control propagation.
+func (t *Tee) SetChild(c Op) { t.child = c; c.SetParent(t) }
+
+// Open forwards the probe.
+func (t *Tee) Open(tag Tag) {
+	if t.child != nil {
+		t.child.Open(tag)
+	}
+}
+
+// Push replicates to every parent.
+func (t *Tee) Push(tag Tag, tp *tuple.Tuple) {
+	for _, p := range t.parents {
+		p.Push(tag, tp)
+	}
+}
+
+// Flush forwards to the child.
+func (t *Tee) Flush(tag Tag) {
+	if t.child != nil {
+		t.child.Flush(tag)
+	}
+}
+
+// Close forwards to the child.
+func (t *Tee) Close() {
+	if t.child != nil {
+		t.child.Close()
+	}
+}
+
+// Union merges several children into one output stream. No order
+// guarantees — PIER uses no distributed sort-based algorithms (§2.1.3).
+type Union struct {
+	base
+	children []Op
+}
+
+// NewUnion creates an empty union; attach children with AddChild.
+func NewUnion() *Union { return &Union{} }
+
+// AddChild wires one more input.
+func (u *Union) AddChild(c Op) { u.children = append(u.children, c); c.SetParent(u) }
+
+// Open forwards the probe to every child.
+func (u *Union) Open(tag Tag) {
+	for _, c := range u.children {
+		c.Open(tag)
+	}
+}
+
+// Push forwards any child's tuple upstream.
+func (u *Union) Push(tag Tag, t *tuple.Tuple) { u.emit(tag, t) }
+
+// Flush forwards to all children.
+func (u *Union) Flush(tag Tag) {
+	for _, c := range u.children {
+		c.Flush(tag)
+	}
+}
+
+// Close forwards to all children.
+func (u *Union) Close() {
+	for _, c := range u.children {
+		c.Close()
+	}
+}
+
+// DupElim suppresses duplicate tuples within a probe, keyed by the full
+// encoded tuple (or by a chosen column subset).
+type DupElim struct {
+	base
+	// KeyCols, when non-empty, restricts the duplicate key to these
+	// columns; otherwise the whole tuple is the key.
+	KeyCols []string
+	Dropped Discarded
+	seen    map[Tag]map[string]struct{}
+	child   Op
+}
+
+// NewDupElim creates a duplicate-eliminator over whole tuples.
+func NewDupElim(keyCols ...string) *DupElim {
+	return &DupElim{KeyCols: keyCols, seen: make(map[Tag]map[string]struct{})}
+}
+
+// SetChild wires the child for control propagation.
+func (d *DupElim) SetChild(c Op) { d.child = c; c.SetParent(d) }
+
+// Open forwards the probe.
+func (d *DupElim) Open(tag Tag) {
+	if d.child != nil {
+		d.child.Open(tag)
+	}
+}
+
+// Push suppresses previously seen tuples.
+func (d *DupElim) Push(tag Tag, t *tuple.Tuple) {
+	var key string
+	if len(d.KeyCols) > 0 {
+		k, ok := t.KeyString(d.KeyCols...)
+		if !ok {
+			d.Dropped.inc()
+			return
+		}
+		key = k
+	} else {
+		key = string(t.Encode())
+	}
+	set := d.seen[tag]
+	if set == nil {
+		set = make(map[string]struct{})
+		d.seen[tag] = set
+	}
+	if _, dup := set[key]; dup {
+		return
+	}
+	set[key] = struct{}{}
+	d.emit(tag, t)
+}
+
+// Flush forwards to the child.
+func (d *DupElim) Flush(tag Tag) {
+	if d.child != nil {
+		d.child.Flush(tag)
+	}
+}
+
+// Close drops all state.
+func (d *DupElim) Close() {
+	d.seen = make(map[Tag]map[string]struct{})
+	if d.child != nil {
+		d.child.Close()
+	}
+}
+
+// Limit passes at most N tuples per probe.
+type Limit struct {
+	base
+	N     int
+	count map[Tag]int
+	child Op
+}
+
+// NewLimit creates a limit operator.
+func NewLimit(n int) *Limit { return &Limit{N: n, count: make(map[Tag]int)} }
+
+// SetChild wires the child for control propagation.
+func (l *Limit) SetChild(c Op) { l.child = c; c.SetParent(l) }
+
+// Open forwards the probe.
+func (l *Limit) Open(tag Tag) {
+	if l.child != nil {
+		l.child.Open(tag)
+	}
+}
+
+// Push forwards until the per-probe quota is reached.
+func (l *Limit) Push(tag Tag, t *tuple.Tuple) {
+	if l.count[tag] >= l.N {
+		return
+	}
+	l.count[tag]++
+	l.emit(tag, t)
+}
+
+// Flush forwards to the child.
+func (l *Limit) Flush(tag Tag) {
+	if l.child != nil {
+		l.child.Flush(tag)
+	}
+}
+
+// Close drops counters.
+func (l *Limit) Close() {
+	l.count = make(map[Tag]int)
+	if l.child != nil {
+		l.child.Close()
+	}
+}
+
+// Result is the terminal result handler: it hands finished tuples to
+// application code (on the proxy node, the handler forwards them to the
+// client connection).
+type Result struct {
+	Fn    func(tag Tag, t *tuple.Tuple)
+	child Op
+}
+
+// NewResult creates a result handler around fn.
+func NewResult(fn func(tag Tag, t *tuple.Tuple)) *Result { return &Result{Fn: fn} }
+
+// SetParent is a no-op: Result is always a root.
+func (r *Result) SetParent(Sink) {}
+
+// SetChild wires the child for control propagation.
+func (r *Result) SetChild(c Op) { r.child = c; c.SetParent(r) }
+
+// Open forwards the probe.
+func (r *Result) Open(tag Tag) {
+	if r.child != nil {
+		r.child.Open(tag)
+	}
+}
+
+// Push invokes the application callback.
+func (r *Result) Push(tag Tag, t *tuple.Tuple) {
+	if r.Fn != nil {
+		r.Fn(tag, t)
+	}
+}
+
+// Flush forwards to the child.
+func (r *Result) Flush(tag Tag) {
+	if r.child != nil {
+		r.child.Flush(tag)
+	}
+}
+
+// Close forwards to the child.
+func (r *Result) Close() {
+	if r.child != nil {
+		r.child.Close()
+	}
+}

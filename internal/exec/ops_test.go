@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"pier/internal/expr"
+	"pier/internal/tuple"
+)
+
+// collect gathers tuples emitted by an operator chain.
+type collect struct {
+	tuples []*tuple.Tuple
+	tags   []Tag
+}
+
+func (c *collect) Push(tag Tag, t *tuple.Tuple) {
+	c.tuples = append(c.tuples, t)
+	c.tags = append(c.tags, tag)
+}
+
+func (c *collect) strings() []string {
+	out := make([]string, len(c.tuples))
+	for i, t := range c.tuples {
+		out[i] = t.String()
+	}
+	return out
+}
+
+func row(vals ...int64) *tuple.Tuple {
+	t := tuple.New("t")
+	for i, v := range vals {
+		t.Set(fmt.Sprintf("c%d", i), tuple.Int(v))
+	}
+	return t
+}
+
+func TestSelectFiltersAndDiscardsMalformed(t *testing.T) {
+	sel := NewSelect(expr.MustParse("c0 > 10"))
+	out := &collect{}
+	sel.SetParent(out)
+	in := NewInput()
+	sel.SetChild(in)
+	sel.Open(1)
+
+	in.Inject(row(5))
+	in.Inject(row(15))
+	in.Inject(tuple.New("t").Set("other", tuple.Int(99))) // malformed: no c0
+	in.Inject(row(20))
+
+	if len(out.tuples) != 2 {
+		t.Fatalf("emitted %d, want 2: %v", len(out.tuples), out.strings())
+	}
+	if sel.Dropped.Count() != 1 {
+		t.Errorf("dropped = %d, want 1 (the malformed tuple)", sel.Dropped.Count())
+	}
+}
+
+func TestSelectPropagatesTag(t *testing.T) {
+	sel := NewSelect(expr.TruePredicate)
+	out := &collect{}
+	sel.SetParent(out)
+	in := NewInput()
+	sel.SetChild(in)
+	sel.Open(42)
+	in.Inject(row(1))
+	if len(out.tags) != 1 || out.tags[0] != 42 {
+		t.Fatalf("tags = %v, want [42]", out.tags)
+	}
+}
+
+func TestProjectComputesExpressions(t *testing.T) {
+	p := NewProject(
+		ProjectCol{Name: "double", E: expr.MustParse("c0 * 2")},
+		ProjectCol{Name: "label", E: expr.MustParse("'x'")},
+	)
+	out := &collect{}
+	p.SetParent(out)
+	in := NewInput()
+	p.SetChild(in)
+	p.Open(1)
+	in.Inject(row(21))
+	if len(out.tuples) != 1 {
+		t.Fatal("no output")
+	}
+	if v, _ := out.tuples[0].Get("double"); v.String() != "42" {
+		t.Errorf("double = %v", v)
+	}
+	if out.tuples[0].Len() != 2 {
+		t.Errorf("projected tuple has %d cols", out.tuples[0].Len())
+	}
+}
+
+func TestProjectDiscardsMalformed(t *testing.T) {
+	p := NewProject(ProjectCol{Name: "x", E: expr.MustParse("ghost + 1")})
+	out := &collect{}
+	p.SetParent(out)
+	in := NewInput()
+	p.SetChild(in)
+	p.Open(1)
+	in.Inject(row(1))
+	if len(out.tuples) != 0 || p.Dropped.Count() != 1 {
+		t.Errorf("emitted=%d dropped=%d", len(out.tuples), p.Dropped.Count())
+	}
+}
+
+func TestTeeReplicates(t *testing.T) {
+	tee := NewTee()
+	a, b := &collect{}, &collect{}
+	tee.AddParent(a)
+	tee.AddParent(b)
+	in := NewInput()
+	tee.SetChild(in)
+	tee.Open(1)
+	in.Inject(row(7))
+	if len(a.tuples) != 1 || len(b.tuples) != 1 {
+		t.Fatalf("a=%d b=%d, want 1 each", len(a.tuples), len(b.tuples))
+	}
+}
+
+func TestUnionMergesChildren(t *testing.T) {
+	u := NewUnion()
+	in1, in2 := NewInput(), NewInput()
+	u.AddChild(in1)
+	u.AddChild(in2)
+	out := &collect{}
+	u.SetParent(out)
+	u.Open(1)
+	in1.Inject(row(1))
+	in2.Inject(row(2))
+	in1.Inject(row(3))
+	if len(out.tuples) != 3 {
+		t.Fatalf("union emitted %d, want 3", len(out.tuples))
+	}
+}
+
+func TestDupElimWholeTuple(t *testing.T) {
+	d := NewDupElim()
+	out := &collect{}
+	d.SetParent(out)
+	in := NewInput()
+	d.SetChild(in)
+	d.Open(1)
+	in.Inject(row(1))
+	in.Inject(row(1))
+	in.Inject(row(2))
+	in.Inject(row(1))
+	if len(out.tuples) != 2 {
+		t.Fatalf("emitted %d, want 2", len(out.tuples))
+	}
+}
+
+func TestDupElimByColumnSubset(t *testing.T) {
+	d := NewDupElim("c0")
+	out := &collect{}
+	d.SetParent(out)
+	in := NewInput()
+	d.SetChild(in)
+	d.Open(1)
+	in.Inject(row(1, 10))
+	in.Inject(row(1, 20)) // same c0, different c1: still a dup
+	in.Inject(row(2, 10))
+	if len(out.tuples) != 2 {
+		t.Fatalf("emitted %d, want 2", len(out.tuples))
+	}
+}
+
+func TestDupElimPerProbeIsolation(t *testing.T) {
+	d := NewDupElim()
+	out := &collect{}
+	d.SetParent(out)
+	d.Push(1, row(5))
+	d.Push(2, row(5)) // different probe: not a duplicate
+	if len(out.tuples) != 2 {
+		t.Fatalf("emitted %d, want 2 (probes are independent)", len(out.tuples))
+	}
+}
+
+func TestLimitCapsPerProbe(t *testing.T) {
+	l := NewLimit(2)
+	out := &collect{}
+	l.SetParent(out)
+	for i := 0; i < 5; i++ {
+		l.Push(1, row(int64(i)))
+	}
+	for i := 0; i < 5; i++ {
+		l.Push(2, row(int64(i)))
+	}
+	if len(out.tuples) != 4 {
+		t.Fatalf("emitted %d, want 2 per probe * 2 probes", len(out.tuples))
+	}
+}
+
+func TestResultInvokesCallback(t *testing.T) {
+	var got []*tuple.Tuple
+	r := NewResult(func(_ Tag, t *tuple.Tuple) { got = append(got, t) })
+	in := NewInput()
+	r.SetChild(in)
+	r.Open(9)
+	in.Inject(row(1))
+	if len(got) != 1 {
+		t.Fatal("result callback not invoked")
+	}
+}
+
+func TestInputIgnoresDataBeforeOpen(t *testing.T) {
+	in := NewInput()
+	out := &collect{}
+	in.SetParent(out)
+	in.Inject(row(1)) // no probe yet
+	if len(out.tuples) != 0 {
+		t.Fatal("input forwarded data before any probe")
+	}
+	in.Open(1)
+	in.Inject(row(2))
+	if len(out.tuples) != 1 {
+		t.Fatal("input did not forward after probe")
+	}
+}
+
+func TestInputOnOpenFires(t *testing.T) {
+	in := NewInput()
+	var gotTag Tag
+	in.OnOpen = func(tag Tag) { gotTag = tag }
+	in.Open(77)
+	if gotTag != 77 {
+		t.Fatalf("OnOpen tag = %d", gotTag)
+	}
+}
+
+func TestChainOpenPropagatesToSource(t *testing.T) {
+	// Result -> Select -> Project -> Input: one Open at the root must
+	// reach the access method.
+	in := NewInput()
+	opened := false
+	in.OnOpen = func(Tag) { opened = true }
+	p := NewProject(ProjectCol{Name: "c0", E: expr.MustParse("c0")})
+	p.SetChild(in)
+	s := NewSelect(expr.TruePredicate)
+	s.SetChild(p)
+	r := NewResult(nil)
+	r.SetChild(s)
+	r.Open(1)
+	if !opened {
+		t.Fatal("probe did not propagate to the access method")
+	}
+}

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"pier/internal/tuple"
+)
+
+// Queue is where dataflow processing "comes up for air" (§3.3.5): tuples
+// pushed into a Queue are buffered, a zero-delay timer is registered with
+// the Main Scheduler, and the flow resumes from the timer event — capping
+// how deep a single event's call stack can grow and letting other events
+// interleave.
+type Queue struct {
+	base
+	// Defer registers fn to run as a fresh scheduler event (typically
+	// rt.Schedule(0, fn)). Required.
+	Defer func(fn func())
+	// Batch bounds how many tuples one drain event forwards before
+	// yielding again; 0 means all.
+	Batch int
+
+	buf       []queued
+	scheduled bool
+	closed    bool
+	child     Op
+}
+
+type queued struct {
+	tag Tag
+	t   *tuple.Tuple
+}
+
+// NewQueue creates a queue that yields to the scheduler via deferFn.
+func NewQueue(deferFn func(func())) *Queue { return &Queue{Defer: deferFn} }
+
+// SetChild wires the child for control propagation.
+func (q *Queue) SetChild(c Op) { q.child = c; c.SetParent(q) }
+
+// Open forwards the probe.
+func (q *Queue) Open(tag Tag) {
+	if q.child != nil {
+		q.child.Open(tag)
+	}
+}
+
+// Push buffers the tuple and schedules a drain event if none is pending.
+func (q *Queue) Push(tag Tag, t *tuple.Tuple) {
+	if q.closed {
+		return
+	}
+	q.buf = append(q.buf, queued{tag, t})
+	if !q.scheduled {
+		q.scheduled = true
+		q.Defer(q.drain)
+	}
+}
+
+// drain runs as its own scheduler event and continues the tuples' flow
+// from child to parent.
+func (q *Queue) drain() {
+	q.scheduled = false
+	if q.closed {
+		q.buf = nil
+		return
+	}
+	n := len(q.buf)
+	if q.Batch > 0 && n > q.Batch {
+		n = q.Batch
+	}
+	batch := q.buf[:n]
+	q.buf = q.buf[n:]
+	for _, item := range batch {
+		q.emit(item.tag, item.t)
+	}
+	if len(q.buf) > 0 && !q.scheduled {
+		q.scheduled = true
+		q.Defer(q.drain)
+	}
+}
+
+// Pending reports the number of buffered tuples.
+func (q *Queue) Pending() int { return len(q.buf) }
+
+// Flush forwards to the child. Buffered tuples still arrive via their
+// scheduled drain event; Flush does not bypass the yield discipline.
+func (q *Queue) Flush(tag Tag) {
+	if q.child != nil {
+		q.child.Flush(tag)
+	}
+}
+
+// Close discards buffered tuples.
+func (q *Queue) Close() {
+	q.closed = true
+	q.buf = nil
+	if q.child != nil {
+		q.child.Close()
+	}
+}

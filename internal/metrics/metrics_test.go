@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCDFWithMisses(t *testing.T) {
+	var r LatencyRecorder
+	r.Record(1 * time.Second)
+	r.Record(2 * time.Second)
+	r.Record(3 * time.Second)
+	r.Miss() // 4 queries, one unanswered: curve tops out at 75%
+	cdf := r.CDF()
+	if len(cdf) != 3 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	if cdf[2].Percent != 75 {
+		t.Errorf("final percent = %v, want 75 (miss plateau)", cdf[2].Percent)
+	}
+	if cdf[0].Percent != 25 {
+		t.Errorf("first percent = %v", cdf[0].Percent)
+	}
+}
+
+func TestAtOrBelow(t *testing.T) {
+	var r LatencyRecorder
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		r.Record(d * time.Second)
+	}
+	if got := r.AtOrBelow(2 * time.Second); got != 50 {
+		t.Errorf("AtOrBelow(2s) = %v", got)
+	}
+	if got := r.AtOrBelow(10 * time.Second); got != 100 {
+		t.Errorf("AtOrBelow(10s) = %v", got)
+	}
+	if got := r.AtOrBelow(0); got != 0 {
+		t.Errorf("AtOrBelow(0) = %v", got)
+	}
+}
+
+func TestPercentileWithMisses(t *testing.T) {
+	var r LatencyRecorder
+	r.Record(10 * time.Millisecond)
+	r.Miss()
+	if _, ok := r.Percentile(90); ok {
+		t.Error("90th percentile should fall in the misses")
+	}
+	d, ok := r.Percentile(25)
+	if !ok || d != 10*time.Millisecond {
+		t.Errorf("25th percentile = %v, %v", d, ok)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	var r LatencyRecorder
+	if cdf := r.CDF(); cdf != nil {
+		t.Error("empty CDF should be nil")
+	}
+	if _, ok := r.Percentile(50); ok {
+		t.Error("empty percentile should fail")
+	}
+	if r.AtOrBelow(time.Second) != 0 {
+		t.Error("empty AtOrBelow should be 0")
+	}
+}
+
+func TestRenderCDFTable(t *testing.T) {
+	a, b := &LatencyRecorder{}, &LatencyRecorder{}
+	a.Record(1 * time.Second)
+	b.Record(5 * time.Second)
+	b.Miss()
+	out := RenderCDFTable(
+		[]time.Duration{2 * time.Second, 10 * time.Second},
+		map[string]*LatencyRecorder{"pier": a, "gnutella": b},
+		[]string{"pier", "gnutella"},
+	)
+	if !strings.Contains(out, "pier") || !strings.Contains(out, "gnutella") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("pier series should reach 100%%:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Errorf("gnutella series should plateau at 50%%:\n%s", out)
+	}
+}
+
+func TestTally(t *testing.T) {
+	ta := NewTally()
+	ta.Add("msgs", 10)
+	ta.Add("bytes", 100)
+	ta.Add("msgs", 5)
+	if ta.Get("msgs") != 15 {
+		t.Errorf("msgs = %d", ta.Get("msgs"))
+	}
+	out := ta.String()
+	if !strings.Contains(out, "msgs") || !strings.Contains(out, "15") {
+		t.Errorf("render: %s", out)
+	}
+	// Insertion order preserved.
+	if strings.Index(out, "msgs") > strings.Index(out, "bytes") {
+		t.Error("order not preserved")
+	}
+}

@@ -1,0 +1,414 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pier/internal/vri"
+	"pier/internal/wire"
+)
+
+// errTimeout is reported when a pending overlay request gets no response.
+var errTimeout = errors.New("overlay: request timed out")
+
+// errSelfJoin is reported when a join lookup resolves back to the joiner
+// itself while it is still a singleton — stale pointers in the ring
+// swallowed the join; retry after stabilization.
+var errSelfJoin = errors.New("overlay: join resolved to self; retry")
+
+// ErrTimeout reports whether err is an overlay request timeout.
+func ErrTimeout(err error) bool { return errors.Is(err, errTimeout) }
+
+// Config parameterizes a DHT node.
+type Config struct {
+	Router RouterConfig
+	// MaxLifetime caps object soft-state lifetimes (§3.2.3). Default 30m.
+	MaxLifetime time.Duration
+	// SweepInterval is the expiry GC period. Default 1s.
+	SweepInterval time.Duration
+}
+
+// UpcallFunc intercepts a routed send at an intermediate (or final) node
+// (Table 2: handleUpcall). Returning false consumes the message: it is
+// neither forwarded nor delivered.
+type UpcallFunc func(obj Object) (continueRouting bool)
+
+// DHT is the overlay wrapper of Figure 5: the only interface the query
+// processor sees. It choreographs the router and the object manager to
+// implement the inter-node operations (get, put, send, renew) and
+// intra-node operations (localScan, newData, upcall) of Table 2.
+type DHT struct {
+	rt     vri.Runtime
+	router *router
+	store  *objectManager
+
+	newData map[string][]func(Object)
+	upcalls map[string]UpcallFunc
+
+	started bool
+}
+
+// New creates a DHT node bound to rt. Call Start (and optionally Join)
+// before issuing operations.
+func New(rt vri.Runtime, cfg Config) *DHT {
+	d := &DHT{
+		rt:      rt,
+		router:  newRouter(rt, cfg.Router),
+		store:   newObjectManager(rt, cfg.MaxLifetime, cfg.SweepInterval),
+		newData: make(map[string][]func(Object)),
+		upcalls: make(map[string]UpcallFunc),
+	}
+	d.router.deliver = d.deliverRouted
+	d.router.upcall = d.routeUpcall
+	return d
+}
+
+// Start binds the overlay port and begins ring maintenance, with this
+// node forming a singleton ring.
+func (d *DHT) Start() error {
+	if d.started {
+		return fmt.Errorf("overlay: already started")
+	}
+	if err := d.rt.Listen(vri.PortOverlay, d.handleMessage); err != nil {
+		return err
+	}
+	d.router.start()
+	d.store.start()
+	d.started = true
+	return nil
+}
+
+// Join bootstraps into an existing ring through any live member. done is
+// invoked on the node's event loop.
+func (d *DHT) Join(bootstrap vri.Addr, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	d.router.join(bootstrap, done)
+}
+
+// Stop halts maintenance and releases the overlay port. Stored objects
+// are dropped — exactly what a node failure would do; publishers recover
+// via soft state.
+func (d *DHT) Stop() {
+	if !d.started {
+		return
+	}
+	d.router.stop()
+	d.store.stop()
+	d.rt.Release(vri.PortOverlay)
+	d.started = false
+}
+
+// Addr returns this node's network address.
+func (d *DHT) Addr() vri.Addr { return d.rt.Addr() }
+
+// NodeID returns this node's position on the identifier ring.
+func (d *DHT) NodeID() ID { return d.router.self.id }
+
+// Successor returns the immediate successor's address (self if alone).
+func (d *DHT) Successor() vri.Addr { return d.router.successor().addr }
+
+// Predecessor returns the predecessor's address, or "" if unknown.
+func (d *DHT) Predecessor() vri.Addr { return d.router.pred.addr }
+
+// Owns reports whether this node is currently responsible for id.
+func (d *DHT) Owns(id ID) bool { return d.router.isOwner(id) }
+
+// RouterStats reports messages routed through this node and hops
+// forwarded, for instrumentation.
+func (d *DHT) RouterStats() (routed, hops uint64) { return d.router.stats() }
+
+// FingerCount reports how many distinct long-range routing entries this
+// node currently holds — a convergence diagnostic for deployment
+// harnesses.
+func (d *DHT) FingerCount() int { return len(d.router.fingerSample(64)) }
+
+// Lookup resolves the owner of the identifier for (namespace, key).
+func (d *DHT) Lookup(namespace, key string, done func(owner vri.Addr, err error)) {
+	d.router.lookup(HashName(namespace, key), func(n nodeRef, err error) {
+		done(n.addr, err)
+	})
+}
+
+// Put stores an object in the DHT (Table 2: put): a lookup resolves the
+// owner, then the object travels point-to-point (Figure 6). ack, if
+// non-nil, reports whether the owner accepted the object.
+func (d *DHT) Put(namespace, key, suffix string, data []byte, lifetime time.Duration, ack vri.AckFunc) {
+	obj := Object{Namespace: namespace, Key: key, Suffix: suffix, Data: data, Lifetime: lifetime}
+	d.router.lookup(HashName(namespace, key), func(owner nodeRef, err error) {
+		if err != nil {
+			if ack != nil {
+				ack(false)
+			}
+			return
+		}
+		if owner.addr == d.rt.Addr() {
+			d.storeLocal(obj)
+			if ack != nil {
+				ack(true)
+			}
+			return
+		}
+		d.rt.Send(owner.addr, vri.PortOverlay, encodePut(obj), ack)
+	})
+}
+
+// PutLocal stores an object at this node directly, bypassing routing.
+// PIER's decoupled-storage design queries data in situ (§2.1.2): an
+// endpoint-monitoring node publishes its packet traces and firewall logs
+// into its own local store, where true-predicate scans find them, without
+// shipping them to the key's owner.
+func (d *DHT) PutLocal(namespace, key, suffix string, data []byte, lifetime time.Duration) {
+	d.storeLocal(Object{Namespace: namespace, Key: key, Suffix: suffix, Data: data, Lifetime: lifetime})
+}
+
+// Send routes an object toward the owner of (namespace, key) in a single
+// multi-hop call, giving every node on the path an upcall (Table 2: send;
+// Figure 6). Compared to put it uses fewer messages, but each message
+// carries the object.
+func (d *DHT) Send(namespace, key, suffix string, data []byte, lifetime time.Duration) {
+	m := &routedMsg{
+		target: HashName(namespace, key),
+		origin: d.rt.Addr(),
+		hops:   uint8(d.router.cfg.MaxHops),
+		inner:  riSend,
+		obj:    Object{Namespace: namespace, Key: key, Suffix: suffix, Data: data, Lifetime: lifetime},
+	}
+	d.router.route(m)
+}
+
+// Get fetches all objects stored under (namespace, key) (Table 2: get):
+// a lookup followed by a request/response exchange with the owner
+// (Figure 6). done receives the objects on this node's event loop.
+func (d *DHT) Get(namespace, key string, done func(objs []Object, err error)) {
+	d.router.lookup(HashName(namespace, key), func(owner nodeRef, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if owner.addr == d.rt.Addr() {
+			done(d.store.get(namespace, key), nil)
+			return
+		}
+		reqID := d.router.newPending(&pendingReq{onGet: done})
+		d.rt.Send(owner.addr, vri.PortOverlay, encodeGetReq(reqID, namespace, key), func(ok bool) {
+			if !ok {
+				d.router.failPending(reqID)
+			}
+		})
+	})
+}
+
+// Renew extends the soft-state lifetime of an object already stored at
+// its owner (Table 2: renew). It is a lightweight variant of put: only
+// the name travels. If the item is not at the destination — it expired,
+// or responsibility moved to a different node — the renew fails and the
+// publisher must put again (§3.2.4).
+func (d *DHT) Renew(namespace, key, suffix string, lifetime time.Duration, done func(ok bool)) {
+	if done == nil {
+		done = func(bool) {}
+	}
+	d.router.lookup(HashName(namespace, key), func(owner nodeRef, err error) {
+		if err != nil {
+			done(false)
+			return
+		}
+		if owner.addr == d.rt.Addr() {
+			done(d.store.renew(namespace, key, suffix, lifetime))
+			return
+		}
+		reqID := d.router.newPending(&pendingReq{onRenew: func(ok bool, err error) {
+			done(err == nil && ok)
+		}})
+		d.rt.Send(owner.addr, vri.PortOverlay, encodeRenewReq(reqID, namespace, key, suffix, lifetime), func(ok bool) {
+			if !ok {
+				d.router.failPending(reqID)
+			}
+		})
+	})
+}
+
+// LocalScan invokes fn for every object of the namespace stored at this
+// node, until fn returns false (Table 2: localScan/handleLScan).
+func (d *DHT) LocalScan(namespace string, fn func(Object) bool) {
+	d.store.scan(namespace, fn)
+}
+
+// LocalCount returns the number of live local objects in namespace.
+func (d *DHT) LocalCount(namespace string) int { return d.store.count(namespace) }
+
+// OnNewData registers fn to run whenever a new object in namespace
+// arrives at this node (Table 2: newData/handleNewData). It returns an
+// unsubscribe function.
+func (d *DHT) OnNewData(namespace string, fn func(Object)) (cancel func()) {
+	d.newData[namespace] = append(d.newData[namespace], fn)
+	idx := len(d.newData[namespace]) - 1
+	return func() { d.newData[namespace][idx] = nil }
+}
+
+// OnUpcall registers fn to intercept routed sends for namespace passing
+// through this node (Table 2: upcall/handleUpcall). Returning false from
+// fn consumes the message.
+func (d *DHT) OnUpcall(namespace string, fn UpcallFunc) {
+	d.upcalls[namespace] = fn
+}
+
+// storeLocal stores obj here and fires newData callbacks.
+func (d *DHT) storeLocal(obj Object) {
+	d.store.put(obj)
+	for _, fn := range d.newData[obj.Namespace] {
+		if fn != nil {
+			fn(obj)
+		}
+	}
+}
+
+// routeUpcall is the router's per-hop interception hook.
+func (d *DHT) routeUpcall(m *routedMsg) bool {
+	fn := d.upcalls[m.obj.Namespace]
+	if fn == nil {
+		return true
+	}
+	return fn(m.obj)
+}
+
+// deliverRouted handles a routed message whose target this node owns.
+func (d *DHT) deliverRouted(m *routedMsg) {
+	switch m.inner {
+	case riSend:
+		d.storeLocal(m.obj)
+	case riLookup:
+		d.rt.Send(m.origin, vri.PortOverlay,
+			encodeLookupResp(m.reqID, d.rt.Addr(), d.router.self.id), nil)
+	}
+}
+
+// handleMessage is the overlay's single datagram entry point.
+func (d *DHT) handleMessage(src vri.Addr, payload []byte) {
+	// Every peer heard from is a candidate routing-table entry.
+	d.router.learnPeer(src)
+	r := wire.NewReader(payload)
+	kind := r.U8()
+	switch kind {
+	case mkRouted:
+		m, err := decodeRouted(r)
+		if err != nil {
+			return
+		}
+		d.router.route(m)
+
+	case mkLookupResp:
+		reqID := r.U64()
+		owner := vri.Addr(r.String())
+		ownerID := ID(r.U64())
+		if r.Err() != nil {
+			return
+		}
+		d.router.learnPeer(owner)
+		if p := d.router.takePending(reqID); p != nil && p.onLookup != nil {
+			p.onLookup(nodeRef{addr: owner, id: ownerID}, nil)
+		}
+
+	case mkGetReq:
+		reqID := r.U64()
+		ns, key := r.String(), r.String()
+		if r.Err() != nil {
+			return
+		}
+		d.rt.Send(src, vri.PortOverlay, encodeGetResp(reqID, d.store.get(ns, key)), nil)
+
+	case mkGetResp:
+		reqID := r.U64()
+		n := r.U32()
+		objs := make([]Object, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			objs = append(objs, readObject(r))
+		}
+		if r.Err() != nil {
+			return
+		}
+		if p := d.router.takePending(reqID); p != nil && p.onGet != nil {
+			p.onGet(objs, nil)
+		}
+
+	case mkPut:
+		obj := readObject(r)
+		if r.Err() != nil {
+			return
+		}
+		d.storeLocal(obj)
+
+	case mkRenewReq:
+		reqID := r.U64()
+		ns, key, suffix := r.String(), r.String(), r.String()
+		lifetime := r.Duration()
+		if r.Err() != nil {
+			return
+		}
+		ok := d.store.renew(ns, key, suffix, lifetime)
+		d.rt.Send(src, vri.PortOverlay, encodeRenewResp(reqID, ok), nil)
+
+	case mkRenewResp:
+		reqID := r.U64()
+		ok := r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		if p := d.router.takePending(reqID); p != nil && p.onRenew != nil {
+			p.onRenew(ok, nil)
+		}
+
+	case mkStabilizeReq:
+		reqID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		d.rt.Send(src, vri.PortOverlay,
+			encodeStabilizeResp(reqID, d.router.pred.addr, d.router.succs, d.router.fingerSample(16)), nil)
+
+	case mkStabilizeResp:
+		reqID := r.U64()
+		pred := vri.Addr(r.String())
+		n := r.U16()
+		succs := make([]vri.Addr, 0, n)
+		for i := uint16(0); i < n && r.Err() == nil; i++ {
+			succs = append(succs, vri.Addr(r.String()))
+		}
+		nf := r.U16()
+		fingers := make([]vri.Addr, 0, nf)
+		for i := uint16(0); i < nf && r.Err() == nil; i++ {
+			fingers = append(fingers, vri.Addr(r.String()))
+		}
+		if r.Err() != nil {
+			return
+		}
+		if p := d.router.takePending(reqID); p != nil && p.onStab != nil {
+			p.onStab(pred, succs, fingers, nil)
+		}
+
+	case mkNotify:
+		addr := vri.Addr(r.String())
+		if r.Err() != nil {
+			return
+		}
+		d.router.onNotify(addr)
+
+	case mkPing:
+		reqID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		d.rt.Send(src, vri.PortOverlay, encodePong(reqID), nil)
+
+	case mkPong:
+		reqID := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		if p := d.router.takePending(reqID); p != nil && p.onPong != nil {
+			p.onPong(nil)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBetweenSimpleArc(t *testing.T) {
+	if !Between(5, 1, 10) {
+		t.Error("5 should be in (1,10]")
+	}
+	if !Between(10, 1, 10) {
+		t.Error("10 should be in (1,10] (inclusive right)")
+	}
+	if Between(1, 1, 10) {
+		t.Error("1 should not be in (1,10] (exclusive left)")
+	}
+	if Between(11, 1, 10) {
+		t.Error("11 should not be in (1,10]")
+	}
+}
+
+func TestBetweenWrappingArc(t *testing.T) {
+	const max = ^ID(0)
+	if !Between(max, max-5, 3) {
+		t.Error("max should be in (max-5, 3]")
+	}
+	if !Between(2, max-5, 3) {
+		t.Error("2 should be in wrap arc")
+	}
+	if Between(100, max-5, 3) {
+		t.Error("100 should not be in wrap arc")
+	}
+}
+
+func TestBetweenFullRing(t *testing.T) {
+	// from == to denotes the full ring (singleton node owns everything).
+	if !Between(42, 7, 7) {
+		t.Error("full ring must contain any id")
+	}
+	if !Between(7, 7, 7) {
+		t.Error("full ring must contain the endpoint too")
+	}
+}
+
+func TestBetweenOpenExcludesEndpoints(t *testing.T) {
+	if BetweenOpen(10, 1, 10) {
+		t.Error("right endpoint must be excluded")
+	}
+	if BetweenOpen(1, 1, 10) {
+		t.Error("left endpoint must be excluded")
+	}
+	if !BetweenOpen(5, 1, 10) {
+		t.Error("5 in (1,10)")
+	}
+	if BetweenOpen(7, 7, 7) {
+		t.Error("degenerate open arc excludes the point itself")
+	}
+	if !BetweenOpen(8, 7, 7) {
+		t.Error("degenerate open arc includes everything else")
+	}
+}
+
+func TestHashNameIgnoresSuffixAndIsStable(t *testing.T) {
+	a := HashName("table", "key1")
+	b := HashName("table", "key1")
+	if a != b {
+		t.Error("HashName not deterministic")
+	}
+	if HashName("table", "key1") == HashName("table", "key2") {
+		t.Error("different keys should (with overwhelming probability) hash differently")
+	}
+	if HashName("t1", "key") == HashName("t2", "key") {
+		t.Error("namespace must contribute to the identifier")
+	}
+}
+
+func TestHashNameSeparatorPreventsAliasing(t *testing.T) {
+	// ("ab","c") and ("a","bc") must not collide: the separator byte
+	// keeps namespace and key from bleeding into each other.
+	if HashName("ab", "c") == HashName("a", "bc") {
+		t.Error("namespace/key aliasing")
+	}
+}
+
+func TestPropertyBetweenPartition(t *testing.T) {
+	// For from != to, every id is in exactly one of (from,to] and (to,from].
+	f := func(id, from, to ID) bool {
+		if from == to {
+			return Between(id, from, to)
+		}
+		a := Between(id, from, to)
+		b := Between(id, to, from)
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBetweenOpenImpliesBetween(t *testing.T) {
+	f := func(id, from, to ID) bool {
+		if BetweenOpen(id, from, to) && from != to {
+			return Between(id, from, to)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceAdditive(t *testing.T) {
+	f := func(a, b ID) bool {
+		// Distance a->b plus b->a is a full loop (0 mod 2^64), except
+		// a == b where both are zero.
+		d1, d2 := Distance(a, b), Distance(b, a)
+		if a == b {
+			return d1 == 0 && d2 == 0
+		}
+		return d1+d2 == 0 // wraps to zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

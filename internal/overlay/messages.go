@@ -1,0 +1,223 @@
+package overlay
+
+import (
+	"time"
+
+	"pier/internal/vri"
+	"pier/internal/wire"
+)
+
+// Wire protocol for the overlay, carried on vri.PortOverlay. Every
+// datagram starts with a one-byte message kind.
+const (
+	// mkRouted is a multi-hop message making forward progress toward the
+	// owner of a target identifier (§3.2.2). It wraps either a DHT send
+	// (object delivery with per-hop upcalls) or a lookup request.
+	mkRouted = iota + 1
+	// mkLookupResp is the owner's direct answer to a routed lookup.
+	mkLookupResp
+	// mkGetReq / mkGetResp implement the request/response phase of get
+	// after the lookup resolved the owner (Figure 6).
+	mkGetReq
+	mkGetResp
+	// mkPut stores an object directly at the resolved owner (Figure 6).
+	mkPut
+	// mkRenewReq / mkRenewResp extend an object's soft-state lifetime;
+	// renew succeeds only if the item is already at the destination
+	// (§3.2.4).
+	mkRenewReq
+	mkRenewResp
+	// Ring maintenance.
+	mkStabilizeReq  // ask a successor for its predecessor + successor list
+	mkStabilizeResp //
+	mkNotify        // tell a node it may be our successor's predecessor
+	mkPing          // liveness probe
+	mkPong          //
+)
+
+// Routed inner kinds.
+const (
+	riSend = iota + 1
+	riLookup
+)
+
+// routedMsg is the unit of multi-hop routing.
+type routedMsg struct {
+	target ID
+	origin vri.Addr // node that initiated the route
+	hops   uint8    // hops remaining before the message is dropped
+	inner  uint8    // riSend or riLookup
+	// final marks that the previous hop determined the receiver to be
+	// the owner (target ∈ (prev, receiver]); the receiver delivers
+	// without consulting its own predecessor arc. This is Chord's
+	// find_successor semantics — ownership decided by the predecessor —
+	// and it keeps a stale predecessor pointer from blackholing an arc.
+	final bool
+
+	// riSend payload: the object being published/sent.
+	obj Object
+
+	// riLookup payload.
+	reqID uint64
+}
+
+// Object is one soft-state item in the DHT: named by namespace,
+// partitioning key and suffix (§3.2.1), with an explicit lifetime
+// (§3.2.3). Data is opaque to the overlay.
+type Object struct {
+	Namespace string
+	Key       string
+	Suffix    string
+	Data      []byte
+	Lifetime  time.Duration
+}
+
+func appendObject(w *wire.Writer, o Object) {
+	w.String(o.Namespace)
+	w.String(o.Key)
+	w.String(o.Suffix)
+	w.Bytes32(o.Data)
+	w.Duration(o.Lifetime)
+}
+
+func readObject(r *wire.Reader) Object {
+	var o Object
+	o.Namespace = r.String()
+	o.Key = r.String()
+	o.Suffix = r.String()
+	o.Data = append([]byte(nil), r.Bytes32()...)
+	o.Lifetime = r.Duration()
+	return o
+}
+
+func encodeRouted(m *routedMsg) []byte {
+	w := wire.NewWriter(64 + len(m.obj.Data))
+	w.U8(mkRouted)
+	w.U64(uint64(m.target))
+	w.String(string(m.origin))
+	w.U8(m.hops)
+	w.U8(m.inner)
+	w.Bool(m.final)
+	switch m.inner {
+	case riSend:
+		appendObject(w, m.obj)
+	case riLookup:
+		w.U64(m.reqID)
+	}
+	return w.Bytes()
+}
+
+func decodeRouted(r *wire.Reader) (*routedMsg, error) {
+	m := &routedMsg{}
+	m.target = ID(r.U64())
+	m.origin = vri.Addr(r.String())
+	m.hops = r.U8()
+	m.inner = r.U8()
+	m.final = r.Bool()
+	switch m.inner {
+	case riSend:
+		m.obj = readObject(r)
+	case riLookup:
+		m.reqID = r.U64()
+	}
+	return m, r.Err()
+}
+
+func encodeLookupResp(reqID uint64, owner vri.Addr, ownerID ID) []byte {
+	w := wire.NewWriter(32)
+	w.U8(mkLookupResp)
+	w.U64(reqID)
+	w.String(string(owner))
+	w.U64(uint64(ownerID))
+	return w.Bytes()
+}
+
+func encodeGetReq(reqID uint64, ns, key string) []byte {
+	w := wire.NewWriter(32 + len(ns) + len(key))
+	w.U8(mkGetReq)
+	w.U64(reqID)
+	w.String(ns)
+	w.String(key)
+	return w.Bytes()
+}
+
+func encodeGetResp(reqID uint64, objs []Object) []byte {
+	w := wire.NewWriter(64)
+	w.U8(mkGetResp)
+	w.U64(reqID)
+	w.U32(uint32(len(objs)))
+	for _, o := range objs {
+		appendObject(w, o)
+	}
+	return w.Bytes()
+}
+
+func encodePut(o Object) []byte {
+	w := wire.NewWriter(48 + len(o.Data))
+	w.U8(mkPut)
+	appendObject(w, o)
+	return w.Bytes()
+}
+
+func encodeRenewReq(reqID uint64, ns, key, suffix string, lifetime time.Duration) []byte {
+	w := wire.NewWriter(48)
+	w.U8(mkRenewReq)
+	w.U64(reqID)
+	w.String(ns)
+	w.String(key)
+	w.String(suffix)
+	w.Duration(lifetime)
+	return w.Bytes()
+}
+
+func encodeRenewResp(reqID uint64, ok bool) []byte {
+	w := wire.NewWriter(16)
+	w.U8(mkRenewResp)
+	w.U64(reqID)
+	w.Bool(ok)
+	return w.Bytes()
+}
+
+func encodeStabilizeReq(reqID uint64) []byte {
+	w := wire.NewWriter(16)
+	w.U8(mkStabilizeReq)
+	w.U64(reqID)
+	return w.Bytes()
+}
+
+func encodeStabilizeResp(reqID uint64, pred vri.Addr, succs []nodeRef, fingers []vri.Addr) []byte {
+	w := wire.NewWriter(96)
+	w.U8(mkStabilizeResp)
+	w.U64(reqID)
+	w.String(string(pred))
+	w.U16(uint16(len(succs)))
+	for _, s := range succs {
+		w.String(string(s.addr))
+	}
+	w.U16(uint16(len(fingers)))
+	for _, f := range fingers {
+		w.String(string(f))
+	}
+	return w.Bytes()
+}
+
+func encodeNotify(addr vri.Addr) []byte {
+	w := wire.NewWriter(32)
+	w.U8(mkNotify)
+	w.String(string(addr))
+	return w.Bytes()
+}
+
+func encodePing(reqID uint64) []byte {
+	w := wire.NewWriter(16)
+	w.U8(mkPing)
+	w.U64(reqID)
+	return w.Bytes()
+}
+
+func encodePong(reqID uint64) []byte {
+	w := wire.NewWriter(16)
+	w.U8(mkPong)
+	w.U64(reqID)
+	return w.Bytes()
+}

@@ -1,0 +1,156 @@
+package overlay
+
+import (
+	"time"
+
+	"pier/internal/vri"
+)
+
+// objectManager is the soft-state store of Figure 5 (§3.2.3). Each item
+// lives for its publisher-chosen lifetime, capped by MaxLifetime, and is
+// discarded when it expires; publishers keep items alive by renewing
+// them. Expiry doubles as the system's garbage collector: if a publisher
+// dies, its objects eventually vanish.
+type objectManager struct {
+	rt vri.Runtime
+	// MaxLifetime protects the node from storing items whose publisher
+	// failed long ago (§3.2.3).
+	maxLifetime time.Duration
+
+	// tables: namespace → key → suffix → stored object.
+	tables map[string]map[string]map[string]*storedObject
+
+	sweepEvery time.Duration
+	sweepTimer vri.Timer
+	stopped    bool
+}
+
+type storedObject struct {
+	obj     Object
+	expires time.Time
+}
+
+func newObjectManager(rt vri.Runtime, maxLifetime, sweepEvery time.Duration) *objectManager {
+	if maxLifetime <= 0 {
+		maxLifetime = 30 * time.Minute
+	}
+	if sweepEvery <= 0 {
+		sweepEvery = time.Second
+	}
+	return &objectManager{
+		rt:          rt,
+		maxLifetime: maxLifetime,
+		tables:      make(map[string]map[string]map[string]*storedObject),
+		sweepEvery:  sweepEvery,
+	}
+}
+
+func (m *objectManager) start() {
+	var sweep func()
+	sweep = func() {
+		if m.stopped {
+			return
+		}
+		m.sweep(m.rt.Now())
+		m.sweepTimer = m.rt.Schedule(m.sweepEvery, sweep)
+	}
+	m.sweepTimer = m.rt.Schedule(m.sweepEvery, sweep)
+}
+
+func (m *objectManager) stop() {
+	m.stopped = true
+	if m.sweepTimer != nil {
+		m.sweepTimer.Cancel()
+	}
+}
+
+// clampLifetime applies the system-enforced maximum.
+func (m *objectManager) clampLifetime(d time.Duration) time.Duration {
+	if d <= 0 || d > m.maxLifetime {
+		return m.maxLifetime
+	}
+	return d
+}
+
+// put stores (or overwrites) an object under its full three-part name.
+func (m *objectManager) put(o Object) {
+	keys := m.tables[o.Namespace]
+	if keys == nil {
+		keys = make(map[string]map[string]*storedObject)
+		m.tables[o.Namespace] = keys
+	}
+	sfx := keys[o.Key]
+	if sfx == nil {
+		sfx = make(map[string]*storedObject)
+		keys[o.Key] = sfx
+	}
+	life := m.clampLifetime(o.Lifetime)
+	sfx[o.Suffix] = &storedObject{obj: o, expires: m.rt.Now().Add(life)}
+}
+
+// get returns all live objects stored under (namespace, key), one per
+// suffix.
+func (m *objectManager) get(ns, key string) []Object {
+	now := m.rt.Now()
+	var out []Object
+	for _, so := range m.tables[ns][key] {
+		if so.expires.After(now) {
+			out = append(out, so.obj)
+		}
+	}
+	return out
+}
+
+// renew extends an existing object's lifetime. It fails if the item is
+// not present (expired, never stored here, or responsibility moved),
+// which signals the publisher to re-put (§3.2.3).
+func (m *objectManager) renew(ns, key, suffix string, lifetime time.Duration) bool {
+	so := m.tables[ns][key][suffix]
+	if so == nil || !so.expires.After(m.rt.Now()) {
+		return false
+	}
+	so.expires = m.rt.Now().Add(m.clampLifetime(lifetime))
+	return true
+}
+
+// scan invokes fn for every live object in namespace until fn returns
+// false. Iteration order is unspecified.
+func (m *objectManager) scan(ns string, fn func(Object) bool) {
+	now := m.rt.Now()
+	for _, sfx := range m.tables[ns] {
+		for _, so := range sfx {
+			if !so.expires.After(now) {
+				continue
+			}
+			if !fn(so.obj) {
+				return
+			}
+		}
+	}
+}
+
+// count returns the number of live objects in namespace.
+func (m *objectManager) count(ns string) int {
+	n := 0
+	m.scan(ns, func(Object) bool { n++; return true })
+	return n
+}
+
+// sweep discards expired objects and empty index levels.
+func (m *objectManager) sweep(now time.Time) {
+	for ns, keys := range m.tables {
+		for key, sfx := range keys {
+			for suffix, so := range sfx {
+				if !so.expires.After(now) {
+					delete(sfx, suffix)
+				}
+			}
+			if len(sfx) == 0 {
+				delete(keys, key)
+			}
+		}
+		if len(keys) == 0 {
+			delete(m.tables, ns)
+		}
+	}
+}

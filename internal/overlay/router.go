@@ -1,0 +1,553 @@
+package overlay
+
+import (
+	"time"
+
+	"pier/internal/vri"
+)
+
+// nodeRef names a peer: its address and derived identifier. The zero
+// value means "unknown".
+type nodeRef struct {
+	addr vri.Addr
+	id   ID
+}
+
+func (n nodeRef) valid() bool { return n.addr != "" }
+
+func ref(addr vri.Addr) nodeRef { return nodeRef{addr: addr, id: HashNodeAddr(addr)} }
+
+// RouterConfig tunes the ring-maintenance protocol. Zero values select
+// defaults suitable for both simulation and small real deployments.
+type RouterConfig struct {
+	// StabilizeInterval is the period of the successor-consistency
+	// exchange. Default 500ms.
+	StabilizeInterval time.Duration
+	// FixFingerInterval is the period at which one finger entry is
+	// refreshed. Default 250ms.
+	FixFingerInterval time.Duration
+	// CheckPredInterval is the period of predecessor liveness probes.
+	// Default 1s.
+	CheckPredInterval time.Duration
+	// SuccessorListLen is the resilience depth of the successor list.
+	// Default 4.
+	SuccessorListLen int
+	// RequestTimeout bounds lookups, pings and stabilize exchanges.
+	// Default 3s.
+	RequestTimeout time.Duration
+	// MaxHops bounds multi-hop routing to break cycles under churn.
+	// Default 64.
+	MaxHops int
+}
+
+func (c *RouterConfig) fill() {
+	if c.StabilizeInterval <= 0 {
+		c.StabilizeInterval = 500 * time.Millisecond
+	}
+	if c.FixFingerInterval <= 0 {
+		c.FixFingerInterval = 250 * time.Millisecond
+	}
+	if c.CheckPredInterval <= 0 {
+		c.CheckPredInterval = time.Second
+	}
+	if c.SuccessorListLen <= 0 {
+		c.SuccessorListLen = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 200
+	}
+}
+
+// router is the peer-to-peer overlay routing module of Figure 5. All of
+// its state is touched only from the node's event loop (§3.1.2), so it
+// needs no locking.
+type router struct {
+	rt   vri.Runtime
+	cfg  RouterConfig
+	self nodeRef
+
+	pred    nodeRef
+	succs   []nodeRef // succs[0] is the immediate successor; never empty once started
+	fingers [64]nodeRef
+	nextFix int
+
+	// deliver is invoked when this node is the owner of a routed
+	// message's target.
+	deliver func(*routedMsg)
+	// upcall is invoked on every riSend message that transits this node
+	// (including at the owner, §3.2.2); returning false drops the
+	// message.
+	upcall func(*routedMsg) bool
+
+	reqSeq  uint64
+	pending map[uint64]*pendingReq
+
+	timers  []vri.Timer
+	stopped bool
+
+	// hopCount accumulates routing hops for observability.
+	hopCount uint64
+	routed   uint64
+}
+
+type pendingReq struct {
+	onLookup func(owner nodeRef, err error)
+	onStab   func(pred vri.Addr, succs, fingers []vri.Addr, err error)
+	onPong   func(err error)
+	onRenew  func(ok bool, err error)
+	onGet    func(objs []Object, err error)
+	timer    vri.Timer
+}
+
+func newRouter(rt vri.Runtime, cfg RouterConfig) *router {
+	cfg.fill()
+	r := &router{
+		rt:      rt,
+		cfg:     cfg,
+		self:    ref(rt.Addr()),
+		pending: make(map[uint64]*pendingReq),
+	}
+	r.succs = []nodeRef{r.self} // alone in the ring: own successor
+	return r
+}
+
+// start begins periodic ring maintenance.
+func (r *router) start() {
+	jitter := func(d time.Duration) time.Duration {
+		return d + time.Duration(r.rt.Rand().Int63n(int64(d/4+1)))
+	}
+	var stabilize, fixFingers, checkPred func()
+	stabilize = func() {
+		if r.stopped {
+			return
+		}
+		r.stabilize()
+		r.timers = append(r.timers, r.rt.Schedule(jitter(r.cfg.StabilizeInterval), stabilize))
+	}
+	fixFingers = func() {
+		if r.stopped {
+			return
+		}
+		r.fixNextFinger()
+		r.timers = append(r.timers, r.rt.Schedule(jitter(r.cfg.FixFingerInterval), fixFingers))
+	}
+	checkPred = func() {
+		if r.stopped {
+			return
+		}
+		r.checkPredecessor()
+		r.timers = append(r.timers, r.rt.Schedule(jitter(r.cfg.CheckPredInterval), checkPred))
+	}
+	r.timers = append(r.timers,
+		r.rt.Schedule(jitter(r.cfg.StabilizeInterval), stabilize),
+		r.rt.Schedule(jitter(r.cfg.FixFingerInterval), fixFingers),
+		r.rt.Schedule(jitter(r.cfg.CheckPredInterval), checkPred),
+	)
+}
+
+func (r *router) stop() {
+	r.stopped = true
+	for _, t := range r.timers {
+		t.Cancel()
+	}
+	r.timers = nil
+}
+
+// join bootstraps into an existing ring via any live member: look up our
+// own identifier; the owner is our successor.
+func (r *router) join(bootstrap vri.Addr, done func(error)) {
+	m := &routedMsg{
+		target: r.self.id,
+		origin: r.self.addr,
+		hops:   uint8(r.cfg.MaxHops),
+		inner:  riLookup,
+	}
+	m.reqID = r.newPending(&pendingReq{onLookup: func(owner nodeRef, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if owner.addr == r.self.addr {
+			// The ring resolved our own id back to us. For a member
+			// that is legitimate (a node owns its own identifier); for
+			// a singleton it means stale pointers elsewhere routed the
+			// lookup into us — the join did NOT take, and the caller
+			// must retry after stabilization clears the staleness.
+			if r.successor().addr == r.self.addr {
+				done(errSelfJoin)
+			} else {
+				done(nil)
+			}
+			return
+		}
+		r.succs = append([]nodeRef{owner}, r.succs...)
+		r.trimSuccs()
+		r.sendTo(owner.addr, encodeNotify(r.self.addr), nil)
+		done(nil)
+	}})
+	r.sendTo(bootstrap, encodeRouted(m), func(ok bool) {
+		if !ok {
+			r.failPending(m.reqID)
+		}
+	})
+}
+
+// isOwner reports whether this node is responsible for id: the arc
+// (predecessor, self]. A node that has a successor but no predecessor
+// yet (mid-join, or freshly notified into a large ring) must NOT claim
+// ownership — it would wrongly answer lookups for the whole ring while
+// stabilization catches up; routing forwards instead and the true owner
+// answers. Only a genuine singleton (its own successor) owns everything.
+func (r *router) isOwner(id ID) bool {
+	if !r.pred.valid() {
+		return r.successor().addr == r.self.addr
+	}
+	return Between(id, r.pred.id, r.self.id)
+}
+
+// successor returns the current immediate successor.
+func (r *router) successor() nodeRef { return r.succs[0] }
+
+// closestPreceding picks the best next hop for target: the known node
+// whose identifier most closely precedes target, guaranteeing forward
+// progress (§3.2.2).
+func (r *router) closestPreceding(target ID) nodeRef {
+	best := nodeRef{}
+	consider := func(n nodeRef) {
+		if !n.valid() || n.addr == r.self.addr {
+			return
+		}
+		if !BetweenOpen(n.id, r.self.id, target) {
+			return
+		}
+		// n wins if it lies beyond the current best, i.e. strictly
+		// between best and the target on the clockwise arc.
+		if !best.valid() || BetweenOpen(n.id, best.id, target) {
+			best = n
+		}
+	}
+	for i := len(r.fingers) - 1; i >= 0; i-- {
+		consider(r.fingers[i])
+	}
+	for _, s := range r.succs {
+		consider(s)
+	}
+	return best
+}
+
+// route makes one routing decision for m at this node: deliver locally if
+// we own the target, otherwise forward with per-hop failover. For riSend
+// messages the upcall intercepts the message first (§3.2.2) — unless this
+// node originated it.
+func (r *router) route(m *routedMsg) {
+	r.routed++
+	// Every transiting message teaches this node about its origin — a
+	// uniformly random point on the ring — which is how far fingers
+	// actually get populated: gossip and direct traffic only carry
+	// nearby addresses, while far-finger repair lookups are the slow
+	// ones that time out precisely when fingers are missing.
+	r.learnPeer(m.origin)
+	if m.inner == riSend && m.origin != r.self.addr && r.upcall != nil {
+		if !r.upcall(m) {
+			return // intercepted and dropped
+		}
+	}
+	succ := r.successor()
+	// Deliver if the previous hop already determined us the owner, if
+	// our own predecessor arc covers the target, or if we are alone.
+	if m.final || r.isOwner(m.target) || succ.addr == r.self.addr {
+		r.deliver(m)
+		return
+	}
+	if m.hops == 0 {
+		return // routing loop or pathological churn; drop
+	}
+	m.hops--
+	var next nodeRef
+	if Between(m.target, r.self.id, succ.id) {
+		// Our successor owns the target (Chord: ownership is decided by
+		// the predecessor); it must deliver even if its own predecessor
+		// pointer is stale.
+		next = succ
+		m.final = true
+	} else {
+		next = r.closestPreceding(m.target)
+		if !next.valid() {
+			next = succ
+		}
+	}
+	r.forward(m, next, 0)
+}
+
+// forward transmits m to next, failing over through the successor list if
+// the transport reports the hop dead.
+func (r *router) forward(m *routedMsg, next nodeRef, attempt int) {
+	if next.addr == r.self.addr {
+		r.deliver(m)
+		return
+	}
+	r.hopCount++
+	r.sendTo(next.addr, encodeRouted(m), func(ok bool) {
+		if ok {
+			return
+		}
+		r.dropPeer(next.addr)
+		if attempt+1 >= len(r.succs)+1 {
+			return // out of candidates; message lost (soft state recovers)
+		}
+		alt := r.closestPreceding(m.target)
+		if !alt.valid() || alt.addr == next.addr {
+			alt = r.successor()
+		}
+		if alt.addr == next.addr {
+			return
+		}
+		r.forward(m, alt, attempt+1)
+	})
+}
+
+// lookup resolves the owner of id, calling done on this node's event
+// loop.
+func (r *router) lookup(id ID, done func(owner nodeRef, err error)) {
+	m := &routedMsg{
+		target: id,
+		origin: r.self.addr,
+		hops:   uint8(r.cfg.MaxHops),
+		inner:  riLookup,
+	}
+	m.reqID = r.newPending(&pendingReq{onLookup: done})
+	r.route(m)
+}
+
+// newPending registers a request awaiting a response, with timeout.
+func (r *router) newPending(p *pendingReq) uint64 {
+	r.reqSeq++
+	id := r.reqSeq
+	r.pending[id] = p
+	p.timer = r.rt.Schedule(r.cfg.RequestTimeout, func() { r.failPending(id) })
+	return id
+}
+
+func (r *router) takePending(id uint64) *pendingReq {
+	p, ok := r.pending[id]
+	if !ok {
+		return nil
+	}
+	delete(r.pending, id)
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	return p
+}
+
+func (r *router) failPending(id uint64) {
+	p := r.takePending(id)
+	if p == nil {
+		return
+	}
+	err := errTimeout
+	switch {
+	case p.onLookup != nil:
+		p.onLookup(nodeRef{}, err)
+	case p.onStab != nil:
+		p.onStab("", nil, nil, err)
+	case p.onPong != nil:
+		p.onPong(err)
+	case p.onRenew != nil:
+		p.onRenew(false, err)
+	case p.onGet != nil:
+		p.onGet(nil, err)
+	}
+}
+
+// stabilize runs one round of Chord's successor-consistency protocol.
+func (r *router) stabilize() {
+	succ := r.successor()
+	if succ.addr == r.self.addr {
+		// Alone, or converged singleton; adopt predecessor as successor
+		// if one appeared (two-node ring formation).
+		if r.pred.valid() && r.pred.addr != r.self.addr {
+			r.succs = []nodeRef{r.pred}
+		}
+		return
+	}
+	reqID := r.newPending(&pendingReq{onStab: func(predAddr vri.Addr, succAddrs []vri.Addr, fingerAddrs []vri.Addr, err error) {
+		if err != nil {
+			r.dropPeer(succ.addr)
+			return
+		}
+		// Finger gossip: the successor's long-range pointers seed ours,
+		// so routing-table knowledge spreads exponentially instead of
+		// waiting on lookups that are slow precisely when fingers are
+		// missing.
+		for _, a := range fingerAddrs {
+			r.learnPeer(a)
+		}
+		if predAddr != "" {
+			x := ref(predAddr)
+			if BetweenOpen(x.id, r.self.id, r.successor().id) {
+				r.succs = append([]nodeRef{x}, r.succs...)
+			}
+		}
+		// Adopt the successor's list, shifted by one.
+		list := []nodeRef{r.successor()}
+		for _, a := range succAddrs {
+			if a != r.self.addr {
+				list = append(list, ref(a))
+			}
+		}
+		r.succs = list
+		r.trimSuccs()
+		r.sendTo(r.successor().addr, encodeNotify(r.self.addr), nil)
+	}})
+	r.sendTo(succ.addr, encodeStabilizeReq(reqID), func(ok bool) {
+		if !ok {
+			r.failPending(reqID)
+		}
+	})
+}
+
+// learnPeer opportunistically places a node heard from into the finger
+// slot covering its identifier distance, if that slot is empty. Without
+// this, a node whose early lookups time out can livelock: empty fingers
+// force long successor walks, which exceed the request timeout, so the
+// finger-repair lookups themselves keep failing. Learning from ambient
+// traffic (as Bamboo does) breaks the cycle.
+func (r *router) learnPeer(addr vri.Addr) {
+	if addr == "" || addr == r.self.addr {
+		return
+	}
+	n := ref(addr)
+	d := Distance(r.self.id, n.id)
+	if d == 0 {
+		return
+	}
+	i := 63
+	for ; i > 0; i-- {
+		if d&(1<<uint(i)) != 0 {
+			break
+		}
+	}
+	if !r.fingers[i].valid() || r.fingers[i].addr == r.self.addr {
+		r.fingers[i] = n
+	}
+}
+
+// fixNextFinger refreshes one finger-table entry per invocation.
+func (r *router) fixNextFinger() {
+	i := r.nextFix
+	r.nextFix = (r.nextFix + 1) % len(r.fingers)
+	target := ID(uint64(r.self.id) + 1<<uint(i))
+	r.lookup(target, func(owner nodeRef, err error) {
+		// A singleton resolves every lookup to itself; storing self
+		// would permanently occupy the slot and blind future routing
+		// (learnPeer only fills empty slots). Only real peers qualify.
+		if err == nil && owner.valid() && owner.addr != r.self.addr {
+			r.fingers[i] = owner
+		}
+	})
+}
+
+// checkPredecessor probes the predecessor and forgets it on timeout, so a
+// new predecessor can be adopted via notify.
+func (r *router) checkPredecessor() {
+	if !r.pred.valid() {
+		return
+	}
+	pred := r.pred
+	reqID := r.newPending(&pendingReq{onPong: func(err error) {
+		if err != nil && r.pred.addr == pred.addr {
+			r.pred = nodeRef{}
+		}
+	}})
+	r.sendTo(pred.addr, encodePing(reqID), func(ok bool) {
+		if !ok {
+			r.failPending(reqID)
+		}
+	})
+}
+
+// onNotify handles a peer's claim to be our predecessor.
+func (r *router) onNotify(addr vri.Addr) {
+	n := ref(addr)
+	if n.addr == r.self.addr {
+		return
+	}
+	if !r.pred.valid() || BetweenOpen(n.id, r.pred.id, r.self.id) {
+		r.pred = n
+	}
+	// A second node learning of the ring: adopt as successor too.
+	if r.successor().addr == r.self.addr {
+		r.succs = []nodeRef{n}
+	}
+}
+
+// fingerSample returns the valid finger addresses (deduplicated) for
+// stabilization gossip, capped to keep maintenance messages small.
+func (r *router) fingerSample(max int) []vri.Addr {
+	seen := make(map[vri.Addr]bool)
+	var out []vri.Addr
+	for _, f := range r.fingers {
+		if !f.valid() || f.addr == r.self.addr || seen[f.addr] {
+			continue
+		}
+		seen[f.addr] = true
+		out = append(out, f.addr)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// dropPeer removes a dead node from all routing state.
+func (r *router) dropPeer(addr vri.Addr) {
+	if r.pred.addr == addr {
+		r.pred = nodeRef{}
+	}
+	keep := r.succs[:0]
+	for _, s := range r.succs {
+		if s.addr != addr {
+			keep = append(keep, s)
+		}
+	}
+	r.succs = keep
+	if len(r.succs) == 0 {
+		r.succs = []nodeRef{r.self}
+	}
+	for i, f := range r.fingers {
+		if f.addr == addr {
+			r.fingers[i] = nodeRef{}
+		}
+	}
+}
+
+func (r *router) trimSuccs() {
+	// Dedup while preserving order, then cap the list length.
+	seen := make(map[vri.Addr]bool, len(r.succs))
+	out := r.succs[:0]
+	for _, s := range r.succs {
+		if s.valid() && !seen[s.addr] {
+			seen[s.addr] = true
+			out = append(out, s)
+		}
+	}
+	r.succs = out
+	if len(r.succs) > r.cfg.SuccessorListLen {
+		r.succs = r.succs[:r.cfg.SuccessorListLen]
+	}
+	if len(r.succs) == 0 {
+		r.succs = []nodeRef{r.self}
+	}
+}
+
+func (r *router) sendTo(dst vri.Addr, payload []byte, ack vri.AckFunc) {
+	r.rt.Send(dst, vri.PortOverlay, payload, ack)
+}
+
+// Stats reports cumulative routing counters: messages routed through this
+// node and hops forwarded.
+func (r *router) stats() (routed, hops uint64) { return r.routed, r.hopCount }

@@ -1,0 +1,249 @@
+package pht
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pier/internal/overlay"
+	"pier/internal/sim"
+)
+
+// harness builds an n-node overlay and returns PHT handles on two
+// different nodes plus the env.
+func harness(t *testing.T, seed int64, n int, cfg Config) (*sim.Env, *PHT, *PHT) {
+	t.Helper()
+	env := sim.NewEnv(sim.Options{Seed: seed})
+	nodes := env.SpawnN("n", n)
+	dhts := make([]*overlay.DHT, n)
+	for i, nd := range nodes {
+		dhts[i] = overlay.New(nd, overlay.Config{})
+		if err := dhts[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		dhts[i].Join(dhts[0].Addr(), nil)
+		env.Run(2 * time.Second)
+	}
+	env.Run(time.Duration(n) * 2 * time.Second)
+	return env, New(dhts[0], cfg), New(dhts[n-1], cfg)
+}
+
+func insertAll(t *testing.T, env *sim.Env, p *PHT, keys []int64) {
+	t.Helper()
+	for i, k := range keys {
+		errCh := make(chan error, 1)
+		done := false
+		p.Insert(EncodeInt(k), fmt.Sprintf("item-%d", i), []byte(fmt.Sprint(k)), func(err error) {
+			done = true
+			errCh <- err
+		})
+		env.Run(30 * time.Second)
+		if !done {
+			t.Fatalf("insert %d stalled", k)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+}
+
+func TestEncodeIntPreservesOrder(t *testing.T) {
+	vals := []int64{-1 << 62, -5, -1, 0, 1, 7, 1 << 62}
+	for i := 1; i < len(vals); i++ {
+		if EncodeInt(vals[i-1]) >= EncodeInt(vals[i]) {
+			t.Errorf("order broken between %d and %d", vals[i-1], vals[i])
+		}
+	}
+	for _, v := range vals {
+		if DecodeInt(EncodeInt(v)) != v {
+			t.Errorf("roundtrip %d", v)
+		}
+	}
+}
+
+func TestPropertyEncodeIntOrderIsomorphic(t *testing.T) {
+	f := func(a, b int64) bool {
+		return (a < b) == (EncodeInt(a) < EncodeInt(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeStringPrefixOrder(t *testing.T) {
+	if EncodeString("apple") >= EncodeString("banana") {
+		t.Error("apple should sort before banana")
+	}
+	if EncodeString("") >= EncodeString("a") {
+		t.Error("empty string should sort first")
+	}
+}
+
+func TestKeyPrefix(t *testing.T) {
+	k := Key(0b1010 << 60)
+	if got := k.prefix(4); got != "1010" {
+		t.Errorf("prefix(4) = %q", got)
+	}
+	if got := k.prefix(0); got != "" {
+		t.Errorf("prefix(0) = %q", got)
+	}
+}
+
+func TestInsertLookupSingleNodeTrie(t *testing.T) {
+	env, p, q := harness(t, 21, 4, Config{Index: "idx", Bucket: 4})
+	insertAll(t, env, p, []int64{42})
+	var got []Item
+	q.Lookup(EncodeInt(42), func(items []Item, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = items
+	})
+	env.Run(5 * time.Second)
+	if len(got) != 1 || string(got[0].Data) != "42" {
+		t.Fatalf("lookup = %v", got)
+	}
+}
+
+func TestSplitAfterBucketOverflow(t *testing.T) {
+	env, p, _ := harness(t, 22, 4, Config{Index: "idx", Bucket: 2})
+	insertAll(t, env, p, []int64{1, 2, 3, 4, 5, 6})
+	var leaves, internals, items int
+	p.Stats(func(l, i, it int, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		leaves, internals, items = l, i, it
+	})
+	env.Run(60 * time.Second)
+	if internals == 0 {
+		t.Errorf("no splits happened: leaves=%d internals=%d", leaves, internals)
+	}
+	if items < 6 {
+		t.Errorf("items = %d, want >= 6 (pre-split leftovers may add more)", items)
+	}
+}
+
+func TestRangeQueryExactSet(t *testing.T) {
+	env, p, q := harness(t, 23, 6, Config{Index: "idx", Bucket: 3})
+	keys := []int64{-50, -10, -3, 0, 5, 8, 12, 40, 99, 1000}
+	insertAll(t, env, p, keys)
+	var got []int64
+	q.Range(EncodeInt(-10), EncodeInt(40), func(items []Item, err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		seen := map[string]bool{}
+		for _, it := range items {
+			if !seen[it.Suffix] { // dedup pre-split leftovers
+				seen[it.Suffix] = true
+				got = append(got, DecodeInt(it.Key))
+			}
+		}
+	})
+	env.Run(60 * time.Second)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int64{-10, -3, 0, 5, 8, 12, 40}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+}
+
+func TestRangeEmptyInterval(t *testing.T) {
+	env, p, _ := harness(t, 24, 4, Config{Index: "idx"})
+	insertAll(t, env, p, []int64{5})
+	called := false
+	p.Range(EncodeInt(10), EncodeInt(3), func(items []Item, err error) {
+		called = true
+		if len(items) != 0 || err != nil {
+			t.Errorf("inverted range: %v, %v", items, err)
+		}
+	})
+	env.Run(2 * time.Second)
+	if !called {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestRangeSinglePoint(t *testing.T) {
+	env, p, _ := harness(t, 25, 4, Config{Index: "idx", Bucket: 2})
+	insertAll(t, env, p, []int64{1, 2, 3, 4, 5})
+	var got []int64
+	p.Range(EncodeInt(3), EncodeInt(3), func(items []Item, err error) {
+		for _, it := range items {
+			got = append(got, DecodeInt(it.Key))
+		}
+	})
+	env.Run(60 * time.Second)
+	if len(got) < 1 {
+		t.Fatal("point range found nothing")
+	}
+	for _, v := range got {
+		if v != 3 {
+			t.Errorf("point range returned %d", v)
+		}
+	}
+}
+
+func TestDuplicateKeysDistinctSuffixes(t *testing.T) {
+	env, p, _ := harness(t, 26, 4, Config{Index: "idx", Bucket: 8})
+	for i := 0; i < 3; i++ {
+		done := false
+		p.Insert(EncodeInt(7), fmt.Sprintf("dup-%d", i), []byte{byte(i)}, func(err error) {
+			done = true
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		env.Run(30 * time.Second)
+		if !done {
+			t.Fatal("insert stalled")
+		}
+	}
+	var got []Item
+	p.Lookup(EncodeInt(7), func(items []Item, _ error) { got = items })
+	env.Run(5 * time.Second)
+	if len(got) != 3 {
+		t.Fatalf("lookup found %d items, want 3", len(got))
+	}
+}
+
+func TestItemsExpireViaSoftState(t *testing.T) {
+	env, p, _ := harness(t, 27, 4, Config{Index: "idx", Lifetime: 10 * time.Second})
+	insertAll(t, env, p, []int64{1})
+	env.Run(15 * time.Second)
+	var got []Item
+	p.Lookup(EncodeInt(1), func(items []Item, _ error) { got = items })
+	env.Run(5 * time.Second)
+	if len(got) != 0 {
+		t.Fatalf("expired item still found: %v", got)
+	}
+}
+
+func TestPHTVisibleFromEveryNode(t *testing.T) {
+	env, p, q := harness(t, 28, 8, Config{Index: "idx", Bucket: 2})
+	insertAll(t, env, p, []int64{10, 20, 30, 40, 50})
+	var got []int64
+	q.Range(EncodeInt(0), EncodeInt(100), func(items []Item, err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		seen := map[string]bool{}
+		for _, it := range items {
+			if !seen[it.Suffix] {
+				seen[it.Suffix] = true
+				got = append(got, DecodeInt(it.Key))
+			}
+		}
+	})
+	env.Run(60 * time.Second)
+	if len(got) != 5 {
+		t.Fatalf("remote node saw %d of 5 items", len(got))
+	}
+}

@@ -1,0 +1,227 @@
+package phys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"pier/internal/vri"
+)
+
+// TCP streams for client↔proxy communication (§3.1.3): "TCP sessions are
+// primarily used for communication with user clients."
+//
+// The runtime listens for TCP on the same numeric port as its UDP socket
+// (the two port spaces are disjoint). Virtual ports are multiplexed over
+// that one listener: a connecting peer sends a 4-byte virtual-port
+// preamble, and every Write is framed with a 4-byte length prefix so
+// HandleData receives exactly the chunks that were written.
+
+// streamListener owns the node's single TCP accept loop and the
+// per-virtual-port handler table.
+type streamListener struct {
+	rt *Runtime
+	ln net.Listener
+
+	mu       sync.Mutex
+	handlers map[vri.Port]vri.StreamHandler
+}
+
+// ensureStreamListener lazily starts the TCP listener.
+func (r *Runtime) ensureStreamListener() (*streamListener, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.streams[0]; ok {
+		return l, nil
+	}
+	ln, err := net.Listen("tcp", string(r.addr))
+	if err != nil {
+		return nil, fmt.Errorf("phys: tcp listen %s: %w", r.addr, err)
+	}
+	l := &streamListener{rt: r, ln: ln, handlers: make(map[vri.Port]vri.StreamHandler)}
+	// Slot 0 holds the shared listener; per-port handlers live inside it.
+	r.streams[0] = l
+	r.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// ListenStream registers h to accept TCP-multiplexed connections on the
+// given virtual port.
+func (r *Runtime) ListenStream(port vri.Port, h vri.StreamHandler) error {
+	l, err := r.ensureStreamListener()
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.handlers[port]; ok {
+		return fmt.Errorf("phys: stream port %d already bound", port)
+	}
+	l.handlers[port] = h
+	return nil
+}
+
+// ReleaseStream unregisters the handler for port.
+func (r *Runtime) ReleaseStream(port vri.Port) {
+	r.mu.Lock()
+	l := r.streams[0]
+	r.mu.Unlock()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	delete(l.handlers, port)
+	l.mu.Unlock()
+}
+
+// Connect dials (dst, dstPort) over TCP.
+func (r *Runtime) Connect(dst vri.Addr, dstPort vri.Port, h vri.StreamHandler) (vri.Conn, error) {
+	nc, err := net.Dial("tcp", string(dst))
+	if err != nil {
+		return nil, fmt.Errorf("phys: connect %s: %w", dst, err)
+	}
+	var preamble [4]byte
+	binary.BigEndian.PutUint32(preamble[:], uint32(dstPort))
+	if _, err := nc.Write(preamble[:]); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("phys: connect %s: %w", dst, err)
+	}
+	c := newPhysConn(r, nc, h)
+	r.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (l *streamListener) close() { l.ln.Close() }
+
+func (l *streamListener) acceptLoop() {
+	defer l.rt.wg.Done()
+	for {
+		nc, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.rt.wg.Add(1)
+		go l.serve(nc)
+	}
+}
+
+func (l *streamListener) serve(nc net.Conn) {
+	defer l.rt.wg.Done()
+	var preamble [4]byte
+	if _, err := io.ReadFull(nc, preamble[:]); err != nil {
+		nc.Close()
+		return
+	}
+	port := vri.Port(binary.BigEndian.Uint32(preamble[:]))
+	l.mu.Lock()
+	h := l.handlers[port]
+	l.mu.Unlock()
+	if h == nil {
+		nc.Close()
+		return
+	}
+	c := newPhysConn(l.rt, nc, h)
+	l.rt.post(func() { h.HandleConn(c) })
+	c.readLoopLocked() // reuse this goroutine as the connection reader
+}
+
+// physConn is one endpoint of a framed TCP connection. Write never
+// blocks the caller: frames go through a buffered channel drained by a
+// writer goroutine.
+type physConn struct {
+	rt      *Runtime
+	nc      net.Conn
+	handler vri.StreamHandler
+	out     chan []byte
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func newPhysConn(rt *Runtime, nc net.Conn, h vri.StreamHandler) *physConn {
+	c := &physConn{rt: rt, nc: nc, handler: h, out: make(chan []byte, 256), closed: make(chan struct{})}
+	rt.mu.Lock()
+	rt.conns[c] = struct{}{}
+	rt.mu.Unlock()
+	rt.wg.Add(1)
+	go c.writeLoop()
+	return c
+}
+
+func (c *physConn) RemoteAddr() vri.Addr { return vri.Addr(c.nc.RemoteAddr().String()) }
+
+func (c *physConn) Write(data []byte) {
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(data)))
+	copy(frame[4:], data)
+	select {
+	case c.out <- frame:
+	case <-c.closed:
+	}
+}
+
+func (c *physConn) Close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		c.rt.mu.Lock()
+		delete(c.rt.conns, c)
+		c.rt.mu.Unlock()
+	})
+}
+
+func (c *physConn) writeLoop() {
+	defer c.rt.wg.Done()
+	for {
+		select {
+		case frame := <-c.out:
+			if _, err := c.nc.Write(frame); err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *physConn) readLoop() {
+	defer c.rt.wg.Done()
+	c.readLoopLocked()
+}
+
+// readLoopLocked reads length-prefixed frames until error and posts each
+// onto the Main Scheduler.
+func (c *physConn) readLoopLocked() {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+			c.fail(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > 16<<20 {
+			c.fail(fmt.Errorf("phys: oversized frame (%d bytes)", n))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c.nc, buf); err != nil {
+			c.fail(err)
+			return
+		}
+		c.rt.post(func() { c.handler.HandleData(c, buf) })
+	}
+}
+
+func (c *physConn) fail(err error) {
+	select {
+	case <-c.closed:
+		return // deliberate local close; no error event
+	default:
+	}
+	c.Close()
+	c.rt.post(func() { c.handler.HandleError(c, err) })
+}

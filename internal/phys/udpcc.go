@@ -1,0 +1,216 @@
+package phys
+
+import (
+	"encoding/binary"
+	"time"
+
+	"pier/internal/vri"
+)
+
+// udpcc implements a UdpCC-style reliability and congestion-control layer
+// over raw UDP (paper §3.1.3): every message is tracked and either
+// acknowledged by the receiver or reported failed to the sender after
+// retransmissions are exhausted; a per-destination AIMD window provides
+// TCP-style congestion control. In-order delivery is deliberately NOT
+// guaranteed — upper layers (the overlay and query processor) are
+// designed not to need it.
+//
+// Wire format (all integers big-endian):
+//
+//	byte  0     kind (0 = data, 1 = ack)
+//	bytes 1..8  sequence number
+//	data only:
+//	bytes 9..12 destination port
+//	bytes 13..  payload
+type udpcc struct {
+	rt      *Runtime
+	nextSeq uint64
+	flows   map[vri.Addr]*flow
+}
+
+const (
+	pktData = 0
+	pktAck  = 1
+
+	dataHeaderLen = 13
+	ackLen        = 9
+
+	initialWindow = 4
+	maxWindow     = 64
+	dupWindow     = 4096 // receiver remembers this many seqs per peer
+)
+
+// flow is the per-destination congestion and reliability state.
+type flow struct {
+	cwnd     float64
+	inFlight map[uint64]*pendingMsg
+	queue    []*pendingMsg // waiting for window space
+	srttNs   float64       // smoothed RTT estimate, nanoseconds
+	// Receiver-side duplicate suppression.
+	seen     map[uint64]struct{}
+	seenRing []uint64
+}
+
+type pendingMsg struct {
+	seq     uint64
+	dst     vri.Addr
+	port    vri.Port
+	payload []byte
+	ack     vri.AckFunc
+	tries   int
+	sentAt  time.Time
+	timer   vri.Timer
+}
+
+func newUDPCC(rt *Runtime) *udpcc {
+	return &udpcc{rt: rt, flows: make(map[vri.Addr]*flow)}
+}
+
+func (c *udpcc) flow(dst vri.Addr) *flow {
+	f := c.flows[dst]
+	if f == nil {
+		f = &flow{
+			cwnd:     initialWindow,
+			inFlight: make(map[uint64]*pendingMsg),
+			seen:     make(map[uint64]struct{}),
+		}
+		c.flows[dst] = f
+	}
+	return f
+}
+
+// send queues or transmits one message. Runs on the scheduler goroutine.
+func (c *udpcc) send(dst vri.Addr, port vri.Port, payload []byte, ack vri.AckFunc) {
+	c.nextSeq++
+	m := &pendingMsg{seq: c.nextSeq, dst: dst, port: port, payload: payload, ack: ack}
+	f := c.flow(dst)
+	if float64(len(f.inFlight)) < f.cwnd {
+		c.transmit(f, m)
+	} else {
+		f.queue = append(f.queue, m)
+	}
+}
+
+func (c *udpcc) transmit(f *flow, m *pendingMsg) {
+	m.tries++
+	m.sentAt = time.Now()
+	f.inFlight[m.seq] = m
+
+	pkt := make([]byte, dataHeaderLen+len(m.payload))
+	pkt[0] = pktData
+	binary.BigEndian.PutUint64(pkt[1:9], m.seq)
+	binary.BigEndian.PutUint32(pkt[9:13], uint32(m.port))
+	copy(pkt[dataHeaderLen:], m.payload)
+	_ = c.rt.writeDatagram(m.dst, pkt)
+
+	rto := c.rto(f) << uint(m.tries-1) // exponential backoff
+	m.timer = c.rt.Schedule(rto, func() { c.onTimeout(m) })
+}
+
+// rto derives the retransmission timeout from the smoothed RTT.
+func (c *udpcc) rto(f *flow) time.Duration {
+	if f.srttNs <= 0 {
+		return c.rt.cfg.RTO
+	}
+	rto := time.Duration(f.srttNs * 2)
+	if rto < 10*time.Millisecond {
+		rto = 10 * time.Millisecond
+	}
+	if rto > 4*time.Second {
+		rto = 4 * time.Second
+	}
+	return rto
+}
+
+func (c *udpcc) onTimeout(m *pendingMsg) {
+	f := c.flow(m.dst)
+	if _, still := f.inFlight[m.seq]; !still {
+		return // acked in the meantime
+	}
+	// Multiplicative decrease.
+	f.cwnd /= 2
+	if f.cwnd < 1 {
+		f.cwnd = 1
+	}
+	if m.tries > c.rt.cfg.MaxRetries {
+		delete(f.inFlight, m.seq)
+		if m.ack != nil {
+			m.ack(false)
+		}
+		c.fillWindow(f)
+		return
+	}
+	c.transmit(f, m)
+}
+
+// receive handles one raw packet from the I/O goroutine.
+func (c *udpcc) receive(src vri.Addr, pkt []byte) {
+	if len(pkt) < ackLen {
+		return
+	}
+	seq := binary.BigEndian.Uint64(pkt[1:9])
+	switch pkt[0] {
+	case pktAck:
+		c.onAck(src, seq)
+	case pktData:
+		if len(pkt) < dataHeaderLen {
+			return
+		}
+		// Always re-ack, even duplicates: the ack may have been lost.
+		ack := make([]byte, ackLen)
+		ack[0] = pktAck
+		binary.BigEndian.PutUint64(ack[1:9], seq)
+		_ = c.rt.writeDatagram(src, ack)
+
+		f := c.flow(src)
+		if _, dup := f.seen[seq]; dup {
+			return
+		}
+		f.seen[seq] = struct{}{}
+		f.seenRing = append(f.seenRing, seq)
+		if len(f.seenRing) > dupWindow {
+			delete(f.seen, f.seenRing[0])
+			f.seenRing = f.seenRing[1:]
+		}
+		port := vri.Port(binary.BigEndian.Uint32(pkt[9:13]))
+		c.rt.dispatch(src, port, pkt[dataHeaderLen:])
+	}
+}
+
+func (c *udpcc) onAck(src vri.Addr, seq uint64) {
+	f := c.flow(src)
+	m, ok := f.inFlight[seq]
+	if !ok {
+		return
+	}
+	delete(f.inFlight, seq)
+	if m.timer != nil {
+		m.timer.Cancel()
+	}
+	// RTT estimate (ignore retransmitted samples, Karn's rule).
+	if m.tries == 1 {
+		sample := float64(time.Since(m.sentAt))
+		if f.srttNs == 0 {
+			f.srttNs = sample
+		} else {
+			f.srttNs = 0.875*f.srttNs + 0.125*sample
+		}
+	}
+	// Additive increase, one packet per window's worth of acks.
+	if f.cwnd < maxWindow {
+		f.cwnd += 1 / f.cwnd
+	}
+	if m.ack != nil {
+		m.ack(true)
+	}
+	c.fillWindow(f)
+}
+
+// fillWindow transmits queued messages while window space is available.
+func (c *udpcc) fillWindow(f *flow) {
+	for len(f.queue) > 0 && float64(len(f.inFlight)) < f.cwnd {
+		m := f.queue[0]
+		f.queue = f.queue[1:]
+		c.transmit(f, m)
+	}
+}

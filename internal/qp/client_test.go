@@ -1,0 +1,100 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pier/internal/sim"
+	"pier/internal/tuple"
+	"pier/internal/vri"
+)
+
+func TestClientOverTCPStreams(t *testing.T) {
+	env, nodes := cluster(t, 61, 6)
+	for i, n := range nodes {
+		n.PublishLocal("metrics", tuple.New("metrics").
+			Set("node", tuple.Int(int64(i))), time.Hour)
+		if err := n.ServeClients(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A separate client machine, not part of the overlay.
+	clientHost := env.Spawn("client-host")
+	var results []*tuple.Tuple
+	done := false
+	var cerr error
+	cli, err := NewClient(clientHost, nodes[2].Addr(),
+		func(tp *tuple.Tuple) { results = append(results, tp) },
+		func() { done = true },
+		func(e error) { cerr = e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Run(`
+query cq timeout 8s
+opgraph g disseminate broadcast {
+    scan = Scan(table='metrics')
+    out  = Result()
+    out <- scan
+}
+`)
+	env.Run(25 * time.Second)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if !done {
+		t.Fatal("client never saw done")
+	}
+	if len(results) != len(nodes) {
+		t.Fatalf("client received %d tuples, want %d", len(results), len(nodes))
+	}
+}
+
+func TestClientBadQueryGetsError(t *testing.T) {
+	env, nodes := cluster(t, 62, 3)
+	_ = nodes[0].ServeClients()
+	clientHost := env.Spawn("client-host")
+	var gotErr error
+	cli, err := NewClient(clientHost, nodes[0].Addr(), nil, nil,
+		func(e error) { gotErr = e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Run("this is not UFL at all")
+	env.Run(5 * time.Second)
+	if gotErr == nil {
+		t.Fatal("client did not receive an error for a bad query")
+	}
+}
+
+func TestServeClientsRequiresStreamRuntime(t *testing.T) {
+	// A bare Runtime without streams must be rejected cleanly.
+	env := sim.NewEnv(sim.Options{Seed: 63})
+	node := env.Spawn("n")
+	n := NewNode(nonStreamRuntime{node}, Config{})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ServeClients(); err == nil {
+		t.Fatal("expected error from stream-less runtime")
+	}
+}
+
+// nonStreamRuntime delegates only the datagram surface of a sim node,
+// hiding its stream methods.
+type nonStreamRuntime struct{ n *sim.Node }
+
+var _ vri.Runtime = nonStreamRuntime{}
+
+func (r nonStreamRuntime) Addr() vri.Addr   { return r.n.Addr() }
+func (r nonStreamRuntime) Now() time.Time   { return r.n.Now() }
+func (r nonStreamRuntime) Rand() *rand.Rand { return r.n.Rand() }
+func (r nonStreamRuntime) Schedule(d time.Duration, fn func()) vri.Timer {
+	return r.n.Schedule(d, fn)
+}
+func (r nonStreamRuntime) Listen(p vri.Port, h vri.MessageHandler) error { return r.n.Listen(p, h) }
+func (r nonStreamRuntime) Release(p vri.Port)                            { r.n.Release(p) }
+func (r nonStreamRuntime) Send(dst vri.Addr, p vri.Port, b []byte, a vri.AckFunc) {
+	r.n.Send(dst, p, b, a)
+}

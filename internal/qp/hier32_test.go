@@ -1,0 +1,44 @@
+package qp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/tuple"
+	"pier/internal/ufl"
+)
+
+func TestHierarchicalAggregation32(t *testing.T) {
+	env, nodes := cluster(t, 105, 32)
+	for ni, n := range nodes {
+		for j := 0; j < 10; j++ {
+			n.PublishLocal("fw", tuple.New("fw").
+				Set("src", tuple.String(fmt.Sprintf("g%d", (ni+j)%3))), time.Hour)
+		}
+	}
+	q := ufl.MustParse(`
+query hier32 timeout 20s
+opgraph g disseminate broadcast {
+    scan = Scan(table='fw')
+    agg  = HierAgg(ns='agg.tree', keys='src', aggs='count(*) as cnt', senddelay='5s', wait='250ms')
+    out  = Result()
+    agg <- scan
+    out <- agg
+}
+`)
+	results := runQuery(t, env, nodes, 1, q)
+	got := map[string]int64{}
+	for _, r := range results {
+		src, _ := r.Get("src")
+		cnt, _ := r.Get("cnt")
+		c, _ := cnt.AsInt()
+		got[src.String()] += c
+	}
+	want := map[string]int64{"g0": 107, "g1": 107, "g2": 106}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %d, want %d", k, got[k], w)
+		}
+	}
+}

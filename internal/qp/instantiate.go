@@ -1,0 +1,416 @@
+package qp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pier/internal/exec"
+	"pier/internal/expr"
+	"pier/internal/ufl"
+	"pier/internal/vri"
+)
+
+// liveGraph is one instantiated opgraph executing at this node: the
+// wired operator instances, the probe tag, and the teardown hooks.
+type liveGraph struct {
+	n    *Node
+	rq   *runningQuery
+	spec ufl.Opgraph
+
+	ops     map[string]exec.Op
+	roots   []exec.Op
+	tag     exec.Tag
+	cancels []func()
+	timers  []vri.Timer
+	closed  bool
+
+	flushEvery time.Duration
+}
+
+var tagCounter exec.Tag
+
+// instantiate builds the local dataflow for an opgraph (§3.3.2: "when a
+// node receives an opgraph it creates an instance of each operator in
+// the graph and establishes the dataflow links between the operators").
+func (n *Node) instantiate(rq *runningQuery, g ufl.Opgraph) (*liveGraph, error) {
+	tagCounter++
+	lg := &liveGraph{n: n, rq: rq, spec: g, ops: make(map[string]exec.Op), tag: tagCounter}
+
+	for _, spec := range g.Ops {
+		op, err := lg.buildOp(spec)
+		if err != nil {
+			return nil, fmt.Errorf("qp: opgraph %q op %q: %w", g.ID, spec.ID, err)
+		}
+		lg.ops[spec.ID] = op
+		if fe := spec.Arg("flushevery", ""); fe != "" {
+			d, err := time.ParseDuration(fe)
+			if err != nil {
+				return nil, fmt.Errorf("qp: opgraph %q op %q: bad flushevery: %w", g.ID, spec.ID, err)
+			}
+			if lg.flushEvery == 0 || d < lg.flushEvery {
+				lg.flushEvery = d
+			}
+		}
+	}
+
+	// Wire edges: the consumer adopts the producer as a child on the
+	// given input slot. Producers feeding several consumers must be Tee.
+	fanOut := make(map[string]int)
+	for _, e := range g.Edges {
+		fanOut[e.From]++
+	}
+	for _, e := range g.Edges {
+		if fanOut[e.From] > 1 && !strings.EqualFold(g.Op(e.From).Kind, "tee") {
+			return nil, fmt.Errorf("qp: opgraph %q: op %q feeds %d consumers; insert a Tee", g.ID, e.From, fanOut[e.From])
+		}
+		if err := attachChild(lg.ops[e.To], e.Slot, lg.ops[e.From]); err != nil {
+			return nil, fmt.Errorf("qp: opgraph %q: edge %s->%s: %w", g.ID, e.From, e.To, err)
+		}
+	}
+
+	// Roots are operators nobody consumes; probes start there.
+	consumed := make(map[string]bool)
+	for _, e := range g.Edges {
+		consumed[e.From] = true
+	}
+	for _, spec := range g.Ops {
+		if !consumed[spec.ID] {
+			lg.roots = append(lg.roots, lg.ops[spec.ID])
+		}
+	}
+	if len(lg.roots) == 0 {
+		return nil, fmt.Errorf("qp: opgraph %q has no root operator (cycle?)", g.ID)
+	}
+	return lg, nil
+}
+
+// attachChild wires child as an input of parent on the given slot,
+// dispatching on the operator's wiring surface.
+func attachChild(parent exec.Op, slot int, child exec.Op) error {
+	switch p := parent.(type) {
+	case *exec.SymmetricHashJoin:
+		switch slot {
+		case 0:
+			p.SetLeft(child)
+		case 1:
+			p.SetRight(child)
+		default:
+			return fmt.Errorf("join has slots 0 and 1, got %d", slot)
+		}
+		return nil
+	case *exec.Union:
+		p.AddChild(child)
+		return nil
+	case interface{ SetChild(exec.Op) }:
+		p.SetChild(child)
+		return nil
+	default:
+		return fmt.Errorf("operator %T accepts no inputs", parent)
+	}
+}
+
+// open issues the initial probe on every root and starts periodic
+// flushing for continuous queries.
+func (lg *liveGraph) open() {
+	for _, r := range lg.roots {
+		r.Open(lg.tag)
+	}
+	if lg.flushEvery > 0 {
+		var tick func()
+		tick = func() {
+			if lg.closed {
+				return
+			}
+			lg.flush()
+			lg.timers = append(lg.timers, lg.n.rt.Schedule(lg.flushEvery, tick))
+		}
+		lg.timers = append(lg.timers, lg.n.rt.Schedule(lg.flushEvery, tick))
+	}
+}
+
+// flush forces stateful operators to emit (timeout- or timer-driven,
+// §3.3.2).
+func (lg *liveGraph) flush() {
+	for _, r := range lg.roots {
+		r.Flush(lg.tag)
+	}
+}
+
+// close releases operators and cancels subscriptions and timers.
+func (lg *liveGraph) close() {
+	if lg.closed {
+		return
+	}
+	lg.closed = true
+	for _, c := range lg.cancels {
+		c()
+	}
+	for _, t := range lg.timers {
+		t.Cancel()
+	}
+	for _, r := range lg.roots {
+		r.Close()
+	}
+}
+
+// buildOp constructs one operator instance from its spec. Kind names are
+// case-insensitive. This is the full physical-operator menu: the
+// node-local operators from package exec plus the network-facing
+// operators of netops.go.
+func (lg *liveGraph) buildOp(spec ufl.OpSpec) (exec.Op, error) {
+	switch strings.ToLower(spec.Kind) {
+	case "scan":
+		table := spec.Arg("table", spec.Arg("ns", ""))
+		if table == "" {
+			return nil, fmt.Errorf("Scan needs table=")
+		}
+		return lg.newScan(table, true, spec.Arg("only", "")), nil
+
+	case "newdata":
+		table := spec.Arg("table", spec.Arg("ns", ""))
+		if table == "" {
+			return nil, fmt.Errorf("NewData needs table=")
+		}
+		return lg.newScan(table, false, spec.Arg("only", "")), nil
+
+	case "select":
+		pred, err := expr.Parse(spec.Arg("pred", "true"))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSelect(pred), nil
+
+	case "project":
+		cols, err := parseProjectCols(spec.Arg("cols", ""))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(cols...), nil
+
+	case "join":
+		left := splitList(spec.Arg("leftkey", spec.Arg("key", "")))
+		right := splitList(spec.Arg("rightkey", spec.Arg("key", "")))
+		if len(left) == 0 || len(right) == 0 || len(left) != len(right) {
+			return nil, fmt.Errorf("Join needs matching leftkey= and rightkey=")
+		}
+		j := exec.NewSymmetricHashJoin(left, right)
+		if out := spec.Arg("out", ""); out != "" {
+			j.OutTable = out
+		}
+		if spec.Arg("prefix", "true") == "false" {
+			j.PrefixCols = false
+		}
+		return j, nil
+
+	case "fetchmatches":
+		ns := spec.Arg("ns", spec.Arg("table", ""))
+		keyCols := splitList(spec.Arg("key", ""))
+		if ns == "" || len(keyCols) == 0 {
+			return nil, fmt.Errorf("FetchMatches needs ns= and key=")
+		}
+		fm := lg.newFetchMatches(ns, keyCols)
+		if out := spec.Arg("out", ""); out != "" {
+			fm.outTable = out
+		}
+		if spec.Arg("prefix", "true") == "false" {
+			fm.prefix = false
+		}
+		if spec.Arg("semijoin", "") == "true" {
+			fm.semiJoin = true
+		}
+		return fm, nil
+
+	case "groupby":
+		keys := splitList(spec.Arg("keys", ""))
+		aggs, err := ParseAggSpecs(spec.Arg("aggs", ""))
+		if err != nil {
+			return nil, err
+		}
+		gb := exec.NewGroupBy(keys, aggs)
+		if out := spec.Arg("out", ""); out != "" {
+			gb.OutTable = out
+		}
+		return gb, nil
+
+	case "hieragg":
+		return lg.newHierAgg(spec)
+
+	case "bloombuild":
+		return lg.newBloomBuild(spec)
+
+	case "bloomfilter":
+		return lg.newBloomFilter(spec)
+
+	case "topk":
+		k, err := strconv.Atoi(spec.Arg("k", "10"))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("TopK needs positive k=")
+		}
+		col := spec.Arg("col", "")
+		if col == "" {
+			return nil, fmt.Errorf("TopK needs col=")
+		}
+		tk := exec.NewTopK(k, col)
+		tk.Ascending = spec.Arg("asc", "") == "true"
+		return tk, nil
+
+	case "dupelim":
+		return exec.NewDupElim(splitList(spec.Arg("cols", ""))...), nil
+
+	case "limit":
+		n, err := strconv.Atoi(spec.Arg("n", ""))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("Limit needs n=")
+		}
+		return exec.NewLimit(n), nil
+
+	case "union":
+		return exec.NewUnion(), nil
+
+	case "tee":
+		return exec.NewTee(), nil
+
+	case "queue":
+		q := exec.NewQueue(func(fn func()) { lg.n.rt.Schedule(0, fn) })
+		if b := spec.Arg("batch", ""); b != "" {
+			n, err := strconv.Atoi(b)
+			if err != nil {
+				return nil, fmt.Errorf("Queue batch=: %w", err)
+			}
+			q.Batch = n
+		}
+		return q, nil
+
+	case "eddy":
+		e := exec.NewEddy(lg.n.rt.Rand())
+		preds := spec.Arg("preds", "")
+		if preds == "" {
+			return nil, fmt.Errorf("Eddy needs preds='p1; p2; ...'")
+		}
+		for i, src := range strings.Split(preds, ";") {
+			src = strings.TrimSpace(src)
+			if src == "" {
+				continue
+			}
+			p, err := expr.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("Eddy module %d: %w", i, err)
+			}
+			e.AddModule(fmt.Sprintf("m%d", i), p)
+		}
+		return e, nil
+
+	case "put":
+		return lg.buildPut(spec, false)
+
+	case "send":
+		return lg.buildPut(spec, true)
+
+	case "result":
+		return lg.newResult(), nil
+
+	default:
+		return nil, fmt.Errorf("unknown operator kind %q", spec.Kind)
+	}
+}
+
+// buildPut constructs the rehash operator from its spec.
+func (lg *liveGraph) buildPut(spec ufl.OpSpec, send bool) (exec.Op, error) {
+	ns := spec.Arg("ns", "")
+	keyCols := splitList(spec.Arg("key", ""))
+	fixed := spec.Arg("fixedkey", "")
+	if ns == "" || (len(keyCols) == 0 && fixed == "") {
+		return nil, fmt.Errorf("%s needs ns= and key= (or fixedkey=)", spec.Kind)
+	}
+	p := lg.newPut(ns, keyCols, send)
+	p.fixedKey = fixed
+	return p, nil
+}
+
+// splitList parses "a, b, c" into trimmed fields; empty input gives nil.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseProjectCols parses "expr as name; expr as name" (or bare column
+// names separated by commas).
+func parseProjectCols(src string) ([]exec.ProjectCol, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, fmt.Errorf("Project needs cols=")
+	}
+	var out []exec.ProjectCol
+	sep := ";"
+	if !strings.Contains(src, ";") {
+		sep = ","
+	}
+	for _, part := range strings.Split(src, sep) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name := part
+		exprSrc := part
+		if i := strings.LastIndex(strings.ToLower(part), " as "); i >= 0 {
+			exprSrc = strings.TrimSpace(part[:i])
+			name = strings.TrimSpace(part[i+4:])
+		}
+		e, err := expr.Parse(exprSrc)
+		if err != nil {
+			return nil, fmt.Errorf("Project col %q: %w", part, err)
+		}
+		out = append(out, exec.ProjectCol{Name: name, E: e})
+	}
+	return out, nil
+}
+
+// ParseAggSpecs parses "count(*) as cnt; sum(bytes) as total" into
+// aggregate specs. Exported for the SQL frontend.
+func ParseAggSpecs(src string) ([]exec.AggSpec, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, fmt.Errorf("aggregation needs aggs=")
+	}
+	var out []exec.AggSpec
+	for _, part := range strings.Split(src, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := part
+		as := ""
+		if i := strings.LastIndex(strings.ToLower(part), " as "); i >= 0 {
+			spec = strings.TrimSpace(part[:i])
+			as = strings.TrimSpace(part[i+4:])
+		}
+		open := strings.Index(spec, "(")
+		if open < 0 || !strings.HasSuffix(spec, ")") {
+			return nil, fmt.Errorf("bad aggregate %q: want fn(col) or fn(*)", part)
+		}
+		kind, ok := exec.ParseAggKind(strings.TrimSpace(spec[:open]))
+		if !ok {
+			return nil, fmt.Errorf("unknown aggregate %q", spec[:open])
+		}
+		col := strings.TrimSpace(spec[open+1 : len(spec)-1])
+		if col == "*" {
+			col = ""
+		}
+		out = append(out, exec.AggSpec{Kind: kind, Col: col, As: as})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("aggregation needs at least one aggregate")
+	}
+	return out, nil
+}

@@ -1,0 +1,434 @@
+package qp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pier/internal/exec"
+	"pier/internal/overlay"
+	"pier/internal/tuple"
+	"pier/internal/ufl"
+)
+
+// Network-facing operators: the access methods and exchange-like
+// operators that connect a local dataflow to the DHT (§3.3.6). These are
+// the "non-traditional" operators the paper lists alongside the classic
+// relational ones: access methods, result handler, put (similar to
+// Exchange), and the hierarchical aggregation machinery.
+
+// newScan builds the DHT access method for a table namespace: a local
+// scan over objects already stored here (catch-up, §3.3.4 "operators
+// must be capable of catching up when they start") plus a newData
+// subscription for objects arriving afterwards. withScan=false gives the
+// pure NewData variant used for rendezvous namespaces where history is
+// not wanted.
+//
+// only, when non-empty, keeps just tuples whose self-described table
+// name matches. A join's rehash phase ships both relations into ONE
+// rendezvous namespace (so equal join keys land on the same node —
+// §3.3.2: "a producer and a consumer in two separate opgraphs are
+// connected using ... a particular namespace within the DHT"); the
+// consuming opgraph separates them again by table name.
+func (lg *liveGraph) newScan(table string, withScan bool, only string) *exec.Input {
+	in := exec.NewInput()
+	accept := func(tag exec.Tag, o overlay.Object) {
+		t, err := tuple.Decode(o.Data)
+		if err != nil {
+			return // malformed stored object: best-effort discard
+		}
+		if only != "" && t.Table() != only {
+			return
+		}
+		in.Push(tag, t)
+	}
+	in.OnOpen = func(tag exec.Tag) {
+		if withScan {
+			lg.n.dht.LocalScan(table, func(o overlay.Object) bool {
+				accept(tag, o)
+				return true
+			})
+		}
+		cancel := lg.n.dht.OnNewData(table, func(o overlay.Object) {
+			if !lg.closed {
+				accept(tag, o)
+			}
+		})
+		lg.cancels = append(lg.cancels, cancel)
+	}
+	return in
+}
+
+// putOp rehashes each input tuple into a DHT namespace keyed by the
+// given columns — PIER's distributed Exchange (§3.3.6 "partitioned
+// parallelism"): it repartitions tuples by value across the whole
+// system, with the DHT providing the network queue and the separation of
+// control flow between opgraphs. send=true routes the object through the
+// overlay (upcalls at each hop) instead of the two-phase put.
+type putOp struct {
+	lg      *liveGraph
+	ns      string
+	keyCols []string
+	// fixedKey, when non-empty, sends every tuple to one DHT name
+	// instead of partitioning by column value — the "all partials to one
+	// rendezvous site" pattern of naive multi-phase aggregation.
+	fixedKey string
+	send     bool
+	child    exec.Op
+	// Dropped counts tuples lacking the partitioning columns.
+	Dropped exec.Discarded
+	// Sent counts tuples shipped.
+	Sent uint64
+}
+
+func (lg *liveGraph) newPut(ns string, keyCols []string, send bool) *putOp {
+	return &putOp{lg: lg, ns: ns, keyCols: keyCols, send: send}
+}
+
+func (p *putOp) SetParent(exec.Sink) {}
+func (p *putOp) SetChild(c exec.Op)  { p.child = c; c.SetParent(p) }
+
+func (p *putOp) Open(tag exec.Tag) {
+	if p.child != nil {
+		p.child.Open(tag)
+	}
+}
+
+func (p *putOp) Push(_ exec.Tag, t *tuple.Tuple) {
+	key := p.fixedKey
+	if key == "" {
+		k, ok := t.KeyString(p.keyCols...)
+		if !ok {
+			p.Dropped.Inc()
+			return
+		}
+		key = k
+	}
+	p.Sent++
+	data := t.Encode()
+	lifetime := p.lg.rq.timeout
+	if p.send {
+		p.lg.n.dht.Send(p.ns, key, p.lg.n.uniquifier(), data, lifetime)
+		return
+	}
+	p.putWithRetry(key, data, lifetime, 0)
+}
+
+// putWithRetry re-issues a failed put a few times: lookups time out
+// under routing churn and a lost partial silently corrupts downstream
+// aggregates, so the exchange retries like any soft-state publisher.
+func (p *putOp) putWithRetry(key string, data []byte, lifetime time.Duration, attempt int) {
+	p.lg.n.dht.Put(p.ns, key, p.lg.n.uniquifier(), data, lifetime, func(ok bool) {
+		if ok || attempt >= 3 || p.lg.closed {
+			return
+		}
+		p.lg.n.rt.Schedule(500*time.Millisecond, func() {
+			if !p.lg.closed {
+				p.putWithRetry(key, data, lifetime, attempt+1)
+			}
+		})
+	})
+}
+
+func (p *putOp) Flush(tag exec.Tag) {
+	if p.child != nil {
+		p.child.Flush(tag)
+	}
+}
+
+func (p *putOp) Close() {
+	if p.child != nil {
+		p.child.Close()
+	}
+}
+
+// resultOp forwards finished tuples to the query's proxy node, which
+// delivers them to the client (§3.3.2).
+type resultOp struct {
+	lg    *liveGraph
+	child exec.Op
+}
+
+func (lg *liveGraph) newResult() *resultOp { return &resultOp{lg: lg} }
+
+func (r *resultOp) SetParent(exec.Sink) {}
+func (r *resultOp) SetChild(c exec.Op)  { r.child = c; c.SetParent(r) }
+
+func (r *resultOp) Open(tag exec.Tag) {
+	if r.child != nil {
+		r.child.Open(tag)
+	}
+}
+
+func (r *resultOp) Push(_ exec.Tag, t *tuple.Tuple) {
+	r.lg.n.forwardResult(r.lg.rq, t)
+}
+
+func (r *resultOp) Flush(tag exec.Tag) {
+	if r.child != nil {
+		r.child.Flush(tag)
+	}
+}
+
+func (r *resultOp) Close() {
+	if r.child != nil {
+		r.child.Close()
+	}
+}
+
+// fetchMatchesOp is the Fetch Matches join of Mackert & Lohman as used by
+// PIER (§3.3.3–3.3.4): a distributed index join where each input tuple
+// issues a DHT get against the "inner" relation's primary index — like
+// disseminating a small single-table subquery per probe. With
+// semiJoin=true it emits the matching inner tuples alone (the secondary-
+// index pattern: follow the (index-key, tupleID) pair to the base
+// table).
+type fetchMatchesOp struct {
+	lg       *liveGraph
+	ns       string
+	keyCols  []string
+	outTable string
+	prefix   bool
+	semiJoin bool
+	child    exec.Op
+	closed   bool
+	Dropped  exec.Discarded
+	// Fetches counts index probes issued.
+	Fetches uint64
+
+	parent exec.Sink
+}
+
+func (lg *liveGraph) newFetchMatches(ns string, keyCols []string) *fetchMatchesOp {
+	return &fetchMatchesOp{lg: lg, ns: ns, keyCols: keyCols, outTable: "join", prefix: true}
+}
+
+func (f *fetchMatchesOp) SetParent(s exec.Sink) { f.parent = s }
+func (f *fetchMatchesOp) SetChild(c exec.Op)    { f.child = c; c.SetParent(f) }
+
+func (f *fetchMatchesOp) Open(tag exec.Tag) {
+	if f.child != nil {
+		f.child.Open(tag)
+	}
+}
+
+func (f *fetchMatchesOp) Push(tag exec.Tag, t *tuple.Tuple) {
+	key, ok := t.KeyString(f.keyCols...)
+	if !ok {
+		f.Dropped.Inc()
+		return
+	}
+	f.Fetches++
+	outer := t
+	f.lg.n.dht.Get(f.ns, key, func(objs []overlay.Object, err error) {
+		if err != nil || f.closed || f.parent == nil {
+			return
+		}
+		for _, o := range objs {
+			inner, derr := tuple.Decode(o.Data)
+			if derr != nil {
+				continue
+			}
+			if f.semiJoin {
+				f.parent.Push(tag, inner)
+			} else {
+				f.parent.Push(tag, tuple.Join(f.outTable, outer, inner, f.prefix))
+			}
+		}
+	})
+}
+
+func (f *fetchMatchesOp) Flush(tag exec.Tag) {
+	if f.child != nil {
+		f.child.Flush(tag)
+	}
+}
+
+func (f *fetchMatchesOp) Close() {
+	f.closed = true
+	if f.child != nil {
+		f.child.Close()
+	}
+}
+
+// hierAggOp implements hierarchical aggregation (§3.3.4): instead of
+// every node shipping raw tuples to one aggregation site, nodes are
+// arranged into a tree by routing partial aggregates toward a root
+// identifier with dht send; at each hop an upcall intercepts the
+// partial, merges it with the local one, waits briefly for more, and
+// forwards one combined partial a hop closer to the root. In-bandwidth
+// at the root drops from O(nodes) raw streams to its tree fan-in of
+// constant-size partials — which is why it pays off for distributive and
+// algebraic aggregates but not holistic ones.
+type hierAggOp struct {
+	lg      *liveGraph
+	ns      string // rendezvous namespace, unique per query+op
+	rootKey string
+	keys    []string
+	aggs    []exec.AggSpec
+	// sendDelay is when this node ships its local partial; wait is how
+	// long an interior node batches intercepted partials before
+	// forwarding.
+	sendDelay, wait time.Duration
+
+	local    *exec.GroupSet // raw tuples folded here
+	pending  *exec.GroupSet // merged partials in transit through this node
+	merged   bool           // local already folded into pending
+	fwdTimer bool
+
+	child  exec.Op
+	parent exec.Sink
+	tag    exec.Tag
+	closed bool
+	// Forwarded counts partials this node sent up the tree.
+	Forwarded uint64
+	// Intercepted counts partials merged via upcall.
+	Intercepted uint64
+}
+
+func (lg *liveGraph) newHierAgg(spec ufl.OpSpec) (*hierAggOp, error) {
+	keys := splitList(spec.Arg("keys", ""))
+	aggs, err := ParseAggSpecs(spec.Arg("aggs", ""))
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range aggs {
+		if a.Kind.Holistic() {
+			// Allowed but worth flagging in code: holistic aggregates
+			// gain nothing from the hierarchy (§3.3.4); state still
+			// merges correctly.
+			_ = a
+		}
+	}
+	h := &hierAggOp{
+		lg:      lg,
+		ns:      spec.Arg("ns", lg.rq.id+"!"+spec.ID),
+		rootKey: spec.Arg("root", "root"),
+		keys:    keys,
+		aggs:    aggs,
+		local:   exec.NewGroupSet(keys, aggs),
+		pending: exec.NewGroupSet(keys, aggs),
+	}
+	h.sendDelay = lg.rq.timeout / 2
+	if v := spec.Arg("senddelay", ""); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, fmt.Errorf("HierAgg senddelay: %w", err)
+		}
+		h.sendDelay = d
+	}
+	h.wait = 250 * time.Millisecond
+	if v := spec.Arg("wait", ""); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, fmt.Errorf("HierAgg wait: %w", err)
+		}
+		h.wait = d
+	}
+	if v := spec.Arg("k", ""); v != "" { // reserved for future use
+		if _, err := strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("HierAgg k: %w", err)
+		}
+	}
+	return h, nil
+}
+
+func (h *hierAggOp) SetParent(s exec.Sink) { h.parent = s }
+func (h *hierAggOp) SetChild(c exec.Op)    { h.child = c; c.SetParent(h) }
+
+func (h *hierAggOp) isRoot() bool {
+	return h.lg.n.dht.Owns(overlay.HashName(h.ns, h.rootKey))
+}
+
+func (h *hierAggOp) Open(tag exec.Tag) {
+	h.tag = tag
+	// Intercept partials routed through this node (§3.3.4: "at the
+	// first hop along the routing path, PIER receives an upcall, and
+	// combines that partial aggregate with its own data").
+	h.lg.n.dht.OnUpcall(h.ns, func(o overlay.Object) bool {
+		if h.closed {
+			return true // query gone here; let routing continue
+		}
+		if h.pending.MergeEncoded(o.Data) == nil {
+			h.Intercepted++
+			h.scheduleForward()
+		}
+		return false
+	})
+	// The root's own partial never leaves, and partials that reach the
+	// root arrive via the upcall (the owner also upcalls); nothing to
+	// subscribe. Ship the local partial after sendDelay.
+	h.lg.timers = append(h.lg.timers, h.lg.n.rt.Schedule(h.sendDelay, h.shipLocal))
+	if h.child != nil {
+		h.child.Open(tag)
+	}
+}
+
+// Push folds a raw tuple into the local partial aggregate.
+func (h *hierAggOp) Push(_ exec.Tag, t *tuple.Tuple) {
+	h.local.Add(t)
+}
+
+// shipLocal merges the local partial into pending and, unless this node
+// is the root, sends it toward the root.
+func (h *hierAggOp) shipLocal() {
+	if h.closed || h.merged {
+		return
+	}
+	h.merged = true
+	h.pending.Merge(h.local)
+	h.local = exec.NewGroupSet(h.keys, h.aggs)
+	h.forward()
+}
+
+// scheduleForward batches intercepted partials for `wait` before
+// forwarding them one hop closer to the root.
+func (h *hierAggOp) scheduleForward() {
+	if h.fwdTimer || h.closed {
+		return
+	}
+	h.fwdTimer = true
+	h.lg.timers = append(h.lg.timers, h.lg.n.rt.Schedule(h.wait, func() {
+		h.fwdTimer = false
+		h.forward()
+	}))
+}
+
+// forward ships the pending partial toward the root, unless this node is
+// the root (then it accumulates for emission at flush).
+func (h *hierAggOp) forward() {
+	if h.closed || h.isRoot() || h.pending.Len() == 0 {
+		return
+	}
+	h.Forwarded++
+	h.lg.n.dht.Send(h.ns, h.rootKey, h.lg.n.uniquifier(), h.pending.Encode(), h.lg.rq.timeout)
+	h.pending = exec.NewGroupSet(h.keys, h.aggs)
+}
+
+// Flush: at the root, emit the final aggregate downstream; elsewhere,
+// make a last-gasp forward of anything still pending.
+func (h *hierAggOp) Flush(tag exec.Tag) {
+	if h.child != nil {
+		h.child.Flush(tag)
+	}
+	if !h.merged {
+		h.merged = true
+		h.pending.Merge(h.local)
+		h.local = exec.NewGroupSet(h.keys, h.aggs)
+	}
+	if h.isRoot() {
+		if h.parent != nil {
+			h.pending.Emit("hieragg", func(t *tuple.Tuple) { h.parent.Push(tag, t) })
+		}
+		h.pending = exec.NewGroupSet(h.keys, h.aggs)
+		return
+	}
+	h.forward()
+}
+
+func (h *hierAggOp) Close() {
+	h.closed = true
+	if h.child != nil {
+		h.child.Close()
+	}
+}

@@ -1,0 +1,395 @@
+// Package qp implements PIER's query processor (paper §3.3): the life of
+// a query from proxy to dissemination to distributed execution.
+//
+// Every PIER node runs the same stack: the DHT overlay below, and above
+// it this query processor, which
+//
+//   - maintains the distribution tree used as the true-predicate index
+//     (tree.go, §3.3.3),
+//   - disseminates opgraphs to the nodes that must run them (dissem
+//     logic in this file, §3.3.3),
+//   - instantiates arriving opgraphs into local dataflows (instantiate.go,
+//     §3.3.4–3.3.5),
+//   - runs network-facing operators — DHT scans, rehash (Put), Fetch
+//     Matches index joins, hierarchical aggregation (netops.go, §3.3.4,
+//     §3.3.6),
+//   - acts as a proxy for clients: any node accepts a query, forwards it,
+//     and returns results to the client (§3.3.2).
+//
+// Execution is bounded by timeouts rather than EOFs (§3.3.2): each node
+// executes an opgraph until the query's timeout expires, which serves
+// both snapshot and continuous queries.
+package qp
+
+import (
+	"fmt"
+	"time"
+
+	"pier/internal/overlay"
+	"pier/internal/tuple"
+	"pier/internal/ufl"
+	"pier/internal/vri"
+	"pier/internal/wire"
+)
+
+// Config parameterizes a PIER node.
+type Config struct {
+	// DHT configures the overlay underneath the query processor.
+	DHT overlay.Config
+	// TreeRootKey names the well-known root identifier of the query
+	// distribution tree, hard-coded across the deployment (§3.3.3).
+	TreeRootKey string
+	// TreeRefresh is the soft-state refresh period for tree membership.
+	// Default 5s.
+	TreeRefresh time.Duration
+	// TreeChildTTL is how long a recorded child survives without
+	// refresh. Default 3×TreeRefresh.
+	TreeChildTTL time.Duration
+	// DoneGrace is how long after a query's timeout the proxy waits for
+	// straggler results before reporting completion. Default 2s.
+	DoneGrace time.Duration
+	// MaxQueriesPerMinute rate-limits query admission per client id
+	// (§4.1.2); 0 disables limiting.
+	MaxQueriesPerMinute int
+}
+
+func (c *Config) fill() {
+	if c.TreeRootKey == "" {
+		c.TreeRootKey = "!pier-tree-root"
+	}
+	if c.TreeRefresh <= 0 {
+		c.TreeRefresh = 5 * time.Second
+	}
+	if c.TreeChildTTL <= 0 {
+		c.TreeChildTTL = 3 * c.TreeRefresh
+	}
+	if c.DoneGrace <= 0 {
+		c.DoneGrace = 2 * time.Second
+	}
+}
+
+// Node is one PIER participant: overlay member, query executor, and
+// potential proxy for clients.
+type Node struct {
+	rt  vri.Runtime
+	cfg Config
+	dht *overlay.DHT
+
+	tree *distTree
+
+	// running holds the opgraphs this node is currently executing, keyed
+	// by query id.
+	running map[string]*runningQuery
+	// proxied holds the queries for which this node is the proxy.
+	proxied map[string]*proxyState
+
+	limiter *rateLimiter
+
+	started bool
+	// Stats.
+	graphsExecuted uint64
+	resultsSent    uint64
+}
+
+// runningQuery is the executor-side state of one query at this node.
+type runningQuery struct {
+	id      string
+	proxy   vri.Addr
+	timeout time.Duration
+	graphs  []*liveGraph
+	timer   vri.Timer
+}
+
+// proxyState is the proxy-side state of one submitted query.
+type proxyState struct {
+	id       string
+	onResult func(*tuple.Tuple)
+	onDone   func()
+	timer    vri.Timer
+	results  uint64
+}
+
+// NewNode creates a PIER node bound to the runtime.
+func NewNode(rt vri.Runtime, cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		rt:      rt,
+		cfg:     cfg,
+		dht:     overlay.New(rt, cfg.DHT),
+		running: make(map[string]*runningQuery),
+		proxied: make(map[string]*proxyState),
+		limiter: newRateLimiter(rt, cfg.MaxQueriesPerMinute),
+	}
+	n.tree = newDistTree(n)
+	return n
+}
+
+// Start brings up the overlay, binds the query port, and begins
+// distribution-tree maintenance.
+func (n *Node) Start() error {
+	if n.started {
+		return fmt.Errorf("qp: node already started")
+	}
+	if err := n.dht.Start(); err != nil {
+		return err
+	}
+	if err := n.rt.Listen(vri.PortQuery, n.handleMessage); err != nil {
+		n.dht.Stop()
+		return err
+	}
+	n.tree.start()
+	n.started = true
+	return nil
+}
+
+// Join bootstraps the overlay through any existing PIER node.
+func (n *Node) Join(bootstrap vri.Addr, done func(error)) {
+	n.dht.Join(bootstrap, done)
+}
+
+// Stop halts query execution and the overlay.
+func (n *Node) Stop() {
+	if !n.started {
+		return
+	}
+	for _, rq := range n.running {
+		n.finishQuery(rq)
+	}
+	n.tree.stop()
+	n.rt.Release(vri.PortQuery)
+	n.dht.Stop()
+	n.started = false
+}
+
+// Addr returns this node's network address.
+func (n *Node) Addr() vri.Addr { return n.rt.Addr() }
+
+// DHT exposes the overlay for applications and tests.
+func (n *Node) DHT() *overlay.DHT { return n.dht }
+
+// Runtime exposes the node's runtime binding.
+func (n *Node) Runtime() vri.Runtime { return n.rt }
+
+// Stats reports (opgraphs executed, result tuples forwarded).
+func (n *Node) Stats() (graphs, results uint64) { return n.graphsExecuted, n.resultsSent }
+
+// uniquifier draws a random tuple suffix (§3.2.1: suffixes are chosen at
+// random to minimize spurious name collisions).
+func (n *Node) uniquifier() string {
+	return fmt.Sprintf("%08x%08x", n.rt.Rand().Uint32(), n.rt.Rand().Uint32())
+}
+
+// Publish stores a tuple into a published table: the DHT name is
+// (table, key from keyCols), making the table a primary hash index on
+// those attributes (§3.3.3). ack, if non-nil, reports acceptance.
+func (n *Node) Publish(table string, keyCols []string, t *tuple.Tuple, lifetime time.Duration, ack vri.AckFunc) {
+	key, ok := t.KeyString(keyCols...)
+	if !ok {
+		if ack != nil {
+			ack(false)
+		}
+		return
+	}
+	n.dht.Put(table, key, n.uniquifier(), t.Encode(), lifetime, ack)
+}
+
+// PublishLocal stores a tuple at this node only — data queried in situ,
+// like packet traces and firewall logs in endpoint network monitoring
+// (§2.2). True-predicate (broadcast) queries reach it via local scans.
+func (n *Node) PublishLocal(table string, t *tuple.Tuple, lifetime time.Duration) {
+	n.dht.PutLocal(table, "", n.uniquifier(), t.Encode(), lifetime)
+}
+
+// Submit runs a query with this node as the proxy (§3.3.2): the query is
+// validated, its opgraphs are disseminated, and results stream to
+// onResult until the timeout, after which onDone fires. clientID
+// attributes the query for rate limiting; empty means unattributed.
+func (n *Node) Submit(q *ufl.Query, clientID string, onResult func(*tuple.Tuple), onDone func()) error {
+	if !n.started {
+		return fmt.Errorf("qp: node not started")
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if _, dup := n.proxied[q.ID]; dup {
+		return fmt.Errorf("qp: query id %q already in flight", q.ID)
+	}
+	if !n.limiter.admit(clientID) {
+		return fmt.Errorf("qp: client %q exceeds rate limit", clientID)
+	}
+	ps := &proxyState{id: q.ID, onResult: onResult, onDone: onDone}
+	n.proxied[q.ID] = ps
+	ps.timer = n.rt.Schedule(q.Timeout+n.cfg.DoneGrace, func() {
+		delete(n.proxied, q.ID)
+		if ps.onDone != nil {
+			ps.onDone()
+		}
+	})
+	// All executors share one absolute deadline, so a node that receives
+	// an opgraph late (slow dissemination lookup, deep tree position)
+	// still flushes in time for the proxy to deliver its results. Nodes
+	// are only loosely synchronized (§3.3.4); the deadline needs only
+	// coarse agreement.
+	deadline := n.rt.Now().Add(q.Timeout)
+	for _, g := range q.Graphs {
+		n.disseminate(q, deadline, g)
+	}
+	return nil
+}
+
+// disseminate routes one opgraph to the nodes that must run it (§3.3.3).
+func (n *Node) disseminate(q *ufl.Query, deadline time.Time, g ufl.Opgraph) {
+	payload := encodeDisseminate(q.ID, deadline, n.rt.Addr(), g)
+	switch g.Dissem.Mode {
+	case ufl.DissemLocal:
+		n.acceptGraph(q.ID, deadline, n.rt.Addr(), g)
+	case ufl.DissemBroadcast:
+		n.tree.broadcast(payload)
+	case ufl.DissemEquality:
+		// Route to the owner of the named key — the equality-predicate
+		// index: only nodes holding that partition see the query. The
+		// lookup retries: silently dropping a query's only opgraph would
+		// return an empty (wrong) answer.
+		var try func(attempt int)
+		try = func(attempt int) {
+			n.dht.Lookup(g.Dissem.Namespace, g.Dissem.Key, func(owner vri.Addr, err error) {
+				if err != nil {
+					if attempt < 3 && n.rt.Now().Before(deadline) {
+						try(attempt + 1)
+					}
+					return
+				}
+				if owner == n.rt.Addr() {
+					n.acceptGraph(q.ID, deadline, n.rt.Addr(), g)
+					return
+				}
+				n.rt.Send(owner, vri.PortQuery, payload, nil)
+			})
+		}
+		try(0)
+	}
+}
+
+// acceptGraph instantiates an arriving opgraph and runs it until the
+// query's deadline (§3.3.2). An opgraph executes as soon as it is
+// received; operators must catch up with data that arrived before them
+// (§3.3.4).
+func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, g ufl.Opgraph) {
+	remaining := deadline.Sub(n.rt.Now())
+	if remaining <= 0 {
+		return // arrived after the query already ended
+	}
+	rq := n.running[queryID]
+	if rq == nil {
+		rq = &runningQuery{id: queryID, proxy: proxy, timeout: remaining}
+		n.running[queryID] = rq
+		rq.timer = n.rt.Schedule(remaining, func() { n.finishQuery(rq) })
+	}
+	for _, lg := range rq.graphs {
+		if lg.spec.ID == g.ID {
+			return // duplicate dissemination (tree redundancy)
+		}
+	}
+	lg, err := n.instantiate(rq, g)
+	if err != nil {
+		// No catalog means errors surface only here; the graph is
+		// skipped on this node (best-effort).
+		return
+	}
+	rq.graphs = append(rq.graphs, lg)
+	n.graphsExecuted++
+	lg.open()
+}
+
+// finishQuery flushes stateful operators, tears the query down, and
+// forgets it.
+func (n *Node) finishQuery(rq *runningQuery) {
+	if n.running[rq.id] != rq {
+		return
+	}
+	for _, lg := range rq.graphs {
+		lg.flush()
+	}
+	for _, lg := range rq.graphs {
+		lg.close()
+	}
+	if rq.timer != nil {
+		rq.timer.Cancel()
+	}
+	delete(n.running, rq.id)
+}
+
+// forwardResult delivers one result tuple to the query's proxy node, or
+// directly to the client callback when this node is the proxy.
+func (n *Node) forwardResult(rq *runningQuery, t *tuple.Tuple) {
+	n.resultsSent++
+	if rq.proxy == n.rt.Addr() {
+		n.deliverResult(rq.id, t)
+		return
+	}
+	w := wire.NewWriter(64)
+	w.U8(qmResult)
+	w.String(rq.id)
+	t.EncodeTo(w)
+	n.rt.Send(rq.proxy, vri.PortQuery, w.Bytes(), nil)
+}
+
+// deliverResult hands a tuple to the local client callback.
+func (n *Node) deliverResult(queryID string, t *tuple.Tuple) {
+	ps := n.proxied[queryID]
+	if ps == nil {
+		return // query finished or unknown; drop
+	}
+	ps.results++
+	if ps.onResult != nil {
+		ps.onResult(t)
+	}
+}
+
+// Query-port message kinds.
+const (
+	qmDisseminate = iota + 1
+	qmResult
+	qmTreeBroadcast
+)
+
+func encodeDisseminate(queryID string, deadline time.Time, proxy vri.Addr, g ufl.Opgraph) []byte {
+	w := wire.NewWriter(256)
+	w.U8(qmDisseminate)
+	w.String(queryID)
+	w.Time(deadline)
+	w.String(string(proxy))
+	w.Bytes32(ufl.EncodeGraph(g))
+	return w.Bytes()
+}
+
+// handleMessage is the query processor's datagram entry point.
+func (n *Node) handleMessage(src vri.Addr, payload []byte) {
+	r := wire.NewReader(payload)
+	switch r.U8() {
+	case qmDisseminate:
+		queryID := r.String()
+		deadline := r.Time()
+		proxy := vri.Addr(r.String())
+		graphBytes := r.Bytes32()
+		if r.Err() != nil {
+			return
+		}
+		g, err := ufl.DecodeGraph(graphBytes)
+		if err != nil {
+			return
+		}
+		n.acceptGraph(queryID, deadline, proxy, *g)
+
+	case qmResult:
+		queryID := r.String()
+		t := tuple.DecodeFrom(r)
+		if r.Err() != nil {
+			return
+		}
+		n.deliverResult(queryID, t)
+
+	case qmTreeBroadcast:
+		n.tree.handleBroadcast(r)
+	}
+}

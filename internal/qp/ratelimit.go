@@ -1,0 +1,50 @@
+package qp
+
+import (
+	"time"
+
+	"pier/internal/vri"
+)
+
+// rateLimiter enforces per-client query admission limits — the first of
+// the resource-management defenses sketched in §4.1.2 ("rate limits may
+// be imposed on queries by particular clients, to prevent those clients
+// from unfairly overwhelming the system with expensive operations").
+//
+// It is a sliding-window counter per client id. Identity is taken at
+// face value: as the paper notes, real deployment needs a dependable
+// authentication mechanism to resist Sybil attacks; that is outside this
+// node's scope.
+type rateLimiter struct {
+	rt    vri.Runtime
+	limit int // admissions per minute; 0 = unlimited
+	// windows maps client id → admission timestamps within the last
+	// minute.
+	windows map[string][]time.Time
+}
+
+func newRateLimiter(rt vri.Runtime, perMinute int) *rateLimiter {
+	return &rateLimiter{rt: rt, limit: perMinute, windows: make(map[string][]time.Time)}
+}
+
+// admit records an attempt by client and reports whether it is allowed.
+func (r *rateLimiter) admit(client string) bool {
+	if r.limit <= 0 {
+		return true
+	}
+	now := r.rt.Now()
+	cutoff := now.Add(-time.Minute)
+	w := r.windows[client]
+	kept := w[:0]
+	for _, ts := range w {
+		if ts.After(cutoff) {
+			kept = append(kept, ts)
+		}
+	}
+	if len(kept) >= r.limit {
+		r.windows[client] = kept
+		return false
+	}
+	r.windows[client] = append(kept, now)
+	return true
+}

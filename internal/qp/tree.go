@@ -1,0 +1,150 @@
+package qp
+
+import (
+	"time"
+
+	"pier/internal/overlay"
+	"pier/internal/vri"
+	"pier/internal/wire"
+)
+
+// distTree maintains PIER's query distribution tree (§3.3.3), the
+// true-predicate index that lets a query ranging over all data reach all
+// nodes.
+//
+// Construction follows the paper: upon joining (and periodically, since
+// membership is soft state), each node routes a message containing its
+// own address toward a well-known root identifier. The node at the first
+// hop receives an upcall, records the sender as a child, and drops the
+// message. A node's parent is therefore its first hop toward the root,
+// the tree's shape follows the DHT's routing algorithm, and a node's
+// depth equals its routing distance from the root. Multiple trees (for
+// reliability or load balancing) can be built by running several
+// distTrees with distinct root keys.
+//
+// To broadcast, the proxy forwards the payload to the root (resolved via
+// the same identifier); the root sends a copy to each recorded child,
+// and each child forwards recursively while executing the payload
+// itself.
+type distTree struct {
+	n *Node
+	// children maps child address → soft-state expiry.
+	children map[vri.Addr]time.Time
+	refresh  vri.Timer
+	stopped  bool
+	// seen deduplicates broadcasts; tree churn can deliver copies.
+	seen map[string]struct{}
+	// broadcasts counts payloads this node forwarded (stats/tests).
+	broadcasts uint64
+}
+
+// treeNS is the DHT namespace carrying tree-join traffic.
+const treeNS = "!qp-tree"
+
+func newDistTree(n *Node) *distTree {
+	return &distTree{
+		n:        n,
+		children: make(map[vri.Addr]time.Time),
+		seen:     make(map[string]struct{}),
+	}
+}
+
+func (t *distTree) start() {
+	// Intercept join messages one hop out from the sender: record the
+	// child and consume the message (§3.3.3). The upcall also fires when
+	// this node is the root itself (the final hop), covering the root's
+	// immediate children.
+	t.n.dht.OnUpcall(treeNS, func(obj overlay.Object) bool {
+		child := vri.Addr(obj.Data)
+		if child != "" && child != t.n.rt.Addr() {
+			t.children[child] = t.n.rt.Now().Add(t.n.cfg.TreeChildTTL)
+		}
+		return false // drop: the join message never travels further
+	})
+	var announce func()
+	announce = func() {
+		if t.stopped {
+			return
+		}
+		// Route our address toward the root; the first hop intercepts.
+		t.n.dht.Send(treeNS, t.n.cfg.TreeRootKey, string(t.n.rt.Addr()),
+			[]byte(t.n.rt.Addr()), t.n.cfg.TreeChildTTL)
+		t.refresh = t.n.rt.Schedule(t.n.cfg.TreeRefresh, announce)
+	}
+	// First announcement goes out promptly but staggered to avoid a
+	// thundering herd when many nodes start together.
+	delay := time.Duration(t.n.rt.Rand().Int63n(int64(t.n.cfg.TreeRefresh)))
+	t.refresh = t.n.rt.Schedule(delay, announce)
+}
+
+func (t *distTree) stop() {
+	t.stopped = true
+	if t.refresh != nil {
+		t.refresh.Cancel()
+	}
+}
+
+// liveChildren prunes expired entries and returns current children.
+func (t *distTree) liveChildren() []vri.Addr {
+	now := t.n.rt.Now()
+	out := make([]vri.Addr, 0, len(t.children))
+	for a, exp := range t.children {
+		if exp.After(now) {
+			out = append(out, a)
+		} else {
+			delete(t.children, a)
+		}
+	}
+	return out
+}
+
+// broadcast sends payload (a PortQuery message) to every node: first to
+// the tree root, which fans it out recursively.
+func (t *distTree) broadcast(payload []byte) {
+	id := t.n.uniquifier()
+	wrapped := encodeTreeBroadcast(id, payload)
+	t.n.dht.Lookup(treeNS, t.n.cfg.TreeRootKey, func(root vri.Addr, err error) {
+		if err != nil {
+			return
+		}
+		if root == t.n.rt.Addr() {
+			t.deliverBroadcast(id, payload)
+			return
+		}
+		t.n.rt.Send(root, vri.PortQuery, wrapped, nil)
+	})
+}
+
+func encodeTreeBroadcast(id string, payload []byte) []byte {
+	w := wire.NewWriter(32 + len(payload))
+	w.U8(qmTreeBroadcast)
+	w.String(id)
+	w.Bytes32(payload)
+	return w.Bytes()
+}
+
+// handleBroadcast processes a tree-broadcast frame: execute locally and
+// forward to children.
+func (t *distTree) handleBroadcast(r *wire.Reader) {
+	id := r.String()
+	payload := append([]byte(nil), r.Bytes32()...)
+	if r.Err() != nil {
+		return
+	}
+	t.deliverBroadcast(id, payload)
+}
+
+func (t *distTree) deliverBroadcast(id string, payload []byte) {
+	if _, dup := t.seen[id]; dup {
+		return
+	}
+	t.seen[id] = struct{}{}
+	t.broadcasts++
+	// Forward down the tree first (latency), then execute locally.
+	wrapped := encodeTreeBroadcast(id, payload)
+	for _, child := range t.liveChildren() {
+		t.n.rt.Send(child, vri.PortQuery, wrapped, nil)
+	}
+	// The payload is itself a PortQuery message (qmDisseminate).
+	t.n.handleMessage(t.n.rt.Addr(), payload)
+}

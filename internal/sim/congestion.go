@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"pier/internal/vri"
+)
+
+// CongestionModel decides when a message finishes transmission onto the
+// wire at its source, given the source's access-link state. The paper's
+// simulator offers three models: no congestion, fair queuing, and FIFO
+// queuing (§3.1.4). Propagation latency is added separately by the
+// Topology.
+type CongestionModel interface {
+	// Departure returns the time the last byte of a size-byte message
+	// from src to dst leaves src's access link, given that the send was
+	// issued at now. Implementations may maintain per-link backlog state.
+	Departure(now time.Time, src, dst vri.Addr, size int) time.Time
+}
+
+// NoCongestion models infinite link capacity: messages depart instantly.
+type NoCongestion struct{}
+
+// Departure returns now unchanged.
+func (NoCongestion) Departure(now time.Time, _, _ vri.Addr, _ int) time.Time { return now }
+
+// DefaultBandwidth is the access-link capacity assumed by the queuing
+// models when none is configured: 1 Mbit/s, a typical 2005-era DSL
+// uplink.
+const DefaultBandwidth = 125_000 // bytes per second
+
+// FIFOQueue models a single first-in-first-out queue per source access
+// link with fixed bandwidth: each message must wait for every previously
+// queued message to finish transmitting, regardless of destination. A
+// single bulk flow therefore delays every other flow sharing the link.
+type FIFOQueue struct {
+	// BytesPerSecond is the access-link capacity. Zero means
+	// DefaultBandwidth.
+	BytesPerSecond int
+
+	mu   sync.Mutex
+	busy map[vri.Addr]time.Time // per-source time the link frees up
+}
+
+// Departure serializes the message after the link's current backlog.
+func (f *FIFOQueue) Departure(now time.Time, src, _ vri.Addr, size int) time.Time {
+	bw := f.BytesPerSecond
+	if bw <= 0 {
+		bw = DefaultBandwidth
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.busy == nil {
+		f.busy = make(map[vri.Addr]time.Time)
+	}
+	start := now
+	if free, ok := f.busy[src]; ok && free.After(start) {
+		start = free
+	}
+	tx := time.Duration(float64(size) / float64(bw) * float64(time.Second))
+	end := start.Add(tx)
+	f.busy[src] = end
+	return end
+}
+
+// FairQueue approximates per-flow fair queuing on each source access
+// link: concurrent flows (distinguished by destination) share the link
+// bandwidth equally, so a bulk flow cannot starve a light flow the way it
+// can under FIFO. The approximation tracks a per-flow backlog horizon and
+// charges each message size/(bandwidth/activeFlows), which yields the
+// max-min fairness property the model exists to demonstrate.
+type FairQueue struct {
+	// BytesPerSecond is the access-link capacity. Zero means
+	// DefaultBandwidth.
+	BytesPerSecond int
+
+	mu    sync.Mutex
+	flows map[vri.Addr]map[vri.Addr]time.Time // src -> dst -> flow busy-until
+}
+
+// Departure charges the message to its flow at the flow's fair share.
+func (f *FairQueue) Departure(now time.Time, src, dst vri.Addr, size int) time.Time {
+	bw := f.BytesPerSecond
+	if bw <= 0 {
+		bw = DefaultBandwidth
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.flows == nil {
+		f.flows = make(map[vri.Addr]map[vri.Addr]time.Time)
+	}
+	byDst := f.flows[src]
+	if byDst == nil {
+		byDst = make(map[vri.Addr]time.Time)
+		f.flows[src] = byDst
+	}
+	// Count flows with backlog extending past now: they share the link.
+	active := 1
+	for d, busy := range byDst {
+		if d == dst {
+			continue
+		}
+		if busy.After(now) {
+			active++
+		} else {
+			delete(byDst, d) // flow drained; forget it
+		}
+	}
+	start := now
+	if busy, ok := byDst[dst]; ok && busy.After(start) {
+		start = busy
+	}
+	share := float64(bw) / float64(active)
+	tx := time.Duration(float64(size) / share * float64(time.Second))
+	end := start.Add(tx)
+	byDst[dst] = end
+	return end
+}

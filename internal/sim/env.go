@@ -1,0 +1,355 @@
+// Package sim implements PIER's Simulation Environment (paper §3.1.4,
+// Figure 4): a discrete-event simulator capable of running thousands of
+// virtual nodes on one physical machine, each with its own logical clock
+// and network interface, while executing the same program code as the
+// Physical Runtime Environment.
+//
+// One Main Scheduler and one priority queue serve all nodes; events are
+// annotated with the virtual node that must handle them and demultiplexed
+// on dispatch. The network is simulated at message-level granularity (one
+// simulated packet per application message), with pluggable topology and
+// congestion models. Matching the paper, the simulator does not drop
+// messages by default (loss can be enabled) but does simulate complete
+// node failures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pier/internal/vri"
+)
+
+// event is one entry in the Main Scheduler's priority queue.
+type event struct {
+	at        time.Time
+	seq       uint64 // tie-break so dispatch order is deterministic
+	node      *Node  // nil for environment-level events
+	fn        func()
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Options configure an Env.
+type Options struct {
+	// Seed drives all randomness in the environment, making runs
+	// reproducible. Node random streams derive from it.
+	Seed int64
+	// Topology supplies pairwise latency. Defaults to a Star topology
+	// with 20–60 ms access latency.
+	Topology Topology
+	// Congestion schedules message departures on access links. Defaults
+	// to NoCongestion.
+	Congestion CongestionModel
+	// LossRate drops each message independently with this probability.
+	// The paper's simulator delivers all messages; this defaults to 0.
+	LossRate float64
+	// AckTimeout is how long the transport waits before reporting a
+	// failed delivery (dead destination or lost message) to the sender.
+	AckTimeout time.Duration
+	// Start is the virtual time origin. Defaults to Unix epoch.
+	Start time.Time
+	// Trace, if non-nil, receives a line per interesting event.
+	Trace func(string)
+}
+
+func (o *Options) fill() {
+	if o.Topology == nil {
+		o.Topology = NewStar(StarConfig{MinAccess: 20 * time.Millisecond, MaxAccess: 60 * time.Millisecond, Seed: o.Seed})
+	}
+	if o.Congestion == nil {
+		o.Congestion = NoCongestion{}
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 2 * time.Second
+	}
+	if o.Start.IsZero() {
+		o.Start = time.Unix(0, 0).UTC()
+	}
+}
+
+// Env is the Simulation Environment: virtual clock, Main Scheduler, node
+// demultiplexer, and network model.
+type Env struct {
+	opts   Options
+	now    time.Time
+	seq    uint64
+	queue  eventHeap
+	nodes  map[vri.Addr]*Node
+	rng    *rand.Rand
+	events uint64 // total dispatched, for stats
+	msgs   uint64 // total messages sent
+	bytes  uint64 // total payload bytes sent
+
+	// perNode tallies traffic per node for in/out-bandwidth analyses
+	// (e.g. the hierarchical-aggregation ablation measures root
+	// in-bandwidth).
+	perNode map[vri.Addr]*NodeTraffic
+}
+
+// NodeTraffic is one node's cumulative message accounting.
+type NodeTraffic struct {
+	MsgsIn, MsgsOut   uint64
+	BytesIn, BytesOut uint64
+}
+
+// NewEnv creates a simulation environment.
+func NewEnv(opts Options) *Env {
+	opts.fill()
+	return &Env{
+		opts:    opts,
+		now:     opts.Start,
+		nodes:   make(map[vri.Addr]*Node),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		perNode: make(map[vri.Addr]*NodeTraffic),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Time { return e.now }
+
+// Rand returns the environment-level random source (used by workload
+// generators and churn injection; nodes have their own streams).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Stats reports cumulative counters: events dispatched, messages sent,
+// payload bytes sent.
+func (e *Env) Stats() (events, msgs, bytes uint64) { return e.events, e.msgs, e.bytes }
+
+// Traffic returns the cumulative per-node traffic counters for addr
+// (zero-valued if the node never communicated).
+func (e *Env) Traffic(addr vri.Addr) NodeTraffic {
+	if t := e.perNode[addr]; t != nil {
+		return *t
+	}
+	return NodeTraffic{}
+}
+
+func (e *Env) traffic(addr vri.Addr) *NodeTraffic {
+	t := e.perNode[addr]
+	if t == nil {
+		t = &NodeTraffic{}
+		e.perNode[addr] = t
+	}
+	return t
+}
+
+// schedule enqueues fn to run at time at on behalf of node (nil = env).
+func (e *Env) schedule(at time.Time, node *Node, fn func()) *event {
+	if at.Before(e.now) {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, node: node, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule enqueues an environment-level event after delay. It is used by
+// drivers (workload generators, churn scripts) that are not themselves
+// virtual nodes.
+func (e *Env) Schedule(delay time.Duration, fn func()) vri.Timer {
+	ev := e.schedule(e.now.Add(delay), nil, fn)
+	return timerHandle{ev}
+}
+
+type timerHandle struct{ ev *event }
+
+func (t timerHandle) Cancel() { t.ev.cancelled = true }
+
+// Step dispatches the single next event, advancing virtual time. It
+// returns false when the queue is empty.
+func (e *Env) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		if ev.node != nil && !ev.node.alive {
+			continue // events for failed nodes are discarded
+		}
+		e.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty or virtual time would
+// exceed the given duration from the current time.
+func (e *Env) Run(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// RunUntil dispatches events until the queue is empty or the next event
+// is after deadline; virtual time ends at deadline.
+func (e *Env) RunUntil(deadline time.Time) {
+	for len(e.queue) > 0 {
+		// Peek without popping.
+		next := e.queue[0]
+		if next.at.After(deadline) {
+			break
+		}
+		e.Step()
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+}
+
+// Drain dispatches every remaining event regardless of time. Useful in
+// tests that want quiescence.
+func (e *Env) Drain() {
+	for e.Step() {
+	}
+}
+
+// Spawn creates a live virtual node with the given name and returns its
+// runtime. Names must be unique among live and failed nodes.
+func (e *Env) Spawn(name string) *Node {
+	addr := vri.Addr(name)
+	if _, ok := e.nodes[addr]; ok {
+		panic(fmt.Sprintf("sim: duplicate node %q", name))
+	}
+	n := &Node{
+		env:      e,
+		addr:     addr,
+		alive:    true,
+		handlers: make(map[vri.Port]vri.MessageHandler),
+		streams:  make(map[vri.Port]vri.StreamHandler),
+		rng:      rand.New(rand.NewSource(e.opts.Seed ^ int64(fnvHash(name)))),
+	}
+	e.nodes[addr] = n
+	e.opts.Topology.Register(addr)
+	return n
+}
+
+// SpawnN creates n nodes named prefix-0..prefix-(n-1).
+func (e *Env) SpawnN(prefix string, n int) []*Node {
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = e.Spawn(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return nodes
+}
+
+// Node returns the node with the given address, or nil.
+func (e *Env) Node(addr vri.Addr) *Node {
+	return e.nodes[addr]
+}
+
+// Fail kills a node: pending and future events for it are discarded, its
+// handlers are dropped, and messages addressed to it fail delivery. This
+// models the paper's "complete node failures".
+func (e *Env) Fail(addr vri.Addr) {
+	n := e.nodes[addr]
+	if n == nil || !n.alive {
+		return
+	}
+	n.alive = false
+	for _, c := range n.conns {
+		c.failPeer()
+	}
+	n.conns = nil
+	n.handlers = make(map[vri.Port]vri.MessageHandler)
+	n.streams = make(map[vri.Port]vri.StreamHandler)
+	e.trace("FAIL %s", addr)
+}
+
+// Alive reports whether the node exists and has not failed.
+func (e *Env) Alive(addr vri.Addr) bool {
+	n := e.nodes[addr]
+	return n != nil && n.alive
+}
+
+// LiveAddrs returns the addresses of all live nodes (order unspecified).
+func (e *Env) LiveAddrs() []vri.Addr {
+	out := make([]vri.Addr, 0, len(e.nodes))
+	for a, n := range e.nodes {
+		if n.alive {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (e *Env) trace(format string, args ...any) {
+	if e.opts.Trace != nil {
+		e.opts.Trace(fmt.Sprintf("%s "+format, append([]any{e.now.Format("15:04:05.000")}, args...)...))
+	}
+}
+
+// deliver routes a datagram through the network model. It computes the
+// departure time from the congestion model, adds propagation latency from
+// the topology, and schedules the receive event on the destination and
+// the ack event on the source.
+func (e *Env) deliver(src *Node, dst vri.Addr, dstPort vri.Port, payload []byte, ack vri.AckFunc) {
+	e.msgs++
+	e.bytes += uint64(len(payload))
+	out := e.traffic(src.addr)
+	out.MsgsOut++
+	out.BytesOut += uint64(len(payload))
+	size := len(payload) + 48 // crude header overhead
+	departure := e.opts.Congestion.Departure(e.now, src.addr, dst, size)
+	latency := e.opts.Topology.Latency(src.addr, dst)
+	arrival := departure.Add(latency)
+
+	lost := e.opts.LossRate > 0 && e.rng.Float64() < e.opts.LossRate
+	dstNode := e.nodes[dst]
+	if lost || dstNode == nil || !dstNode.alive {
+		if ack != nil {
+			e.schedule(e.now.Add(e.opts.AckTimeout), src, func() { ack(false) })
+		}
+		return
+	}
+	e.schedule(arrival, dstNode, func() {
+		in := e.traffic(dst)
+		in.MsgsIn++
+		in.BytesIn += uint64(len(payload))
+		h := dstNode.handlers[dstPort]
+		if h != nil {
+			h(src.addr, payload)
+		}
+		// The ack races back over the reverse path. If the sender has
+		// failed meanwhile the ack event is silently discarded.
+		if ack != nil {
+			back := e.opts.Topology.Latency(dst, src.addr)
+			e.schedule(e.now.Add(back), src, func() { ack(true) })
+		}
+	})
+}
+
+func fnvHash(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

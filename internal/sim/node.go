@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pier/internal/vri"
+)
+
+// Node is one virtual node's binding of the Virtual Runtime Interface.
+// All of its events run on the environment's single Main Scheduler, which
+// demultiplexes them by node (Figure 4). Node implements
+// vri.StreamRuntime.
+type Node struct {
+	env      *Env
+	addr     vri.Addr
+	alive    bool
+	handlers map[vri.Port]vri.MessageHandler
+	streams  map[vri.Port]vri.StreamHandler
+	conns    []*simConn
+	rng      *rand.Rand
+}
+
+var _ vri.StreamRuntime = (*Node)(nil)
+
+// Addr returns the node's address.
+func (n *Node) Addr() vri.Addr { return n.addr }
+
+// Now returns the environment's virtual time.
+func (n *Node) Now() time.Time { return n.env.now }
+
+// Rand returns the node's deterministic random stream.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Alive reports whether the node has not failed.
+func (n *Node) Alive() bool { return n.alive }
+
+// Schedule enqueues fn on the Main Scheduler after delay, attributed to
+// this node; it is dropped if the node fails first.
+func (n *Node) Schedule(delay time.Duration, fn func()) vri.Timer {
+	ev := n.env.schedule(n.env.now.Add(delay), n, fn)
+	return timerHandle{ev}
+}
+
+// Listen registers a datagram handler for port.
+func (n *Node) Listen(port vri.Port, h vri.MessageHandler) error {
+	if _, ok := n.handlers[port]; ok {
+		return fmt.Errorf("sim: %s: port %d already bound", n.addr, port)
+	}
+	n.handlers[port] = h
+	return nil
+}
+
+// Release removes the datagram handler for port.
+func (n *Node) Release(port vri.Port) { delete(n.handlers, port) }
+
+// Send transmits payload to (dst, dstPort) through the simulated network.
+func (n *Node) Send(dst vri.Addr, dstPort vri.Port, payload []byte, ack vri.AckFunc) {
+	if !n.alive {
+		return
+	}
+	// Copy the payload: the caller may reuse its buffer, and a real
+	// network would serialize at send time.
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	n.env.deliver(n, dst, dstPort, p, ack)
+}
+
+// Logf emits a trace line attributed to this node and virtual time.
+func (n *Node) Logf(format string, args ...any) {
+	n.env.trace("[%s] "+format, append([]any{n.addr}, args...)...)
+}
+
+// ListenStream registers a TCP-style accept handler for port.
+func (n *Node) ListenStream(port vri.Port, h vri.StreamHandler) error {
+	if _, ok := n.streams[port]; ok {
+		return fmt.Errorf("sim: %s: stream port %d already bound", n.addr, port)
+	}
+	n.streams[port] = h
+	return nil
+}
+
+// ReleaseStream stops accepting connections on port.
+func (n *Node) ReleaseStream(port vri.Port) { delete(n.streams, port) }
+
+// Connect opens a simulated TCP connection to (dst, dstPort). Connection
+// setup costs one round trip of propagation latency.
+func (n *Node) Connect(dst vri.Addr, dstPort vri.Port, h vri.StreamHandler) (vri.Conn, error) {
+	if !n.alive {
+		return nil, fmt.Errorf("sim: %s: node failed", n.addr)
+	}
+	local := &simConn{node: n, peerAddr: dst, handler: h}
+	n.conns = append(n.conns, local)
+	rtt := n.env.opts.Topology.Latency(n.addr, dst) * 2
+	n.env.schedule(n.env.now.Add(rtt), n, func() {
+		peer := n.env.nodes[dst]
+		if peer == nil || !peer.alive {
+			local.fail(fmt.Errorf("sim: connect %s: unreachable", dst))
+			return
+		}
+		ph := peer.streams[dstPort]
+		if ph == nil {
+			local.fail(fmt.Errorf("sim: connect %s port %d: refused", dst, dstPort))
+			return
+		}
+		remote := &simConn{node: peer, peerAddr: n.addr, handler: ph}
+		peer.conns = append(peer.conns, remote)
+		local.peer, remote.peer = remote, local
+		// Accept runs as an event on the peer node.
+		n.env.schedule(n.env.now, peer, func() { ph.HandleConn(remote) })
+		// Flush writes buffered during the handshake, in order.
+		for _, p := range local.pending {
+			local.transmit(p)
+		}
+		local.pending = nil
+	})
+	return local, nil
+}
+
+// simConn is one endpoint of a simulated TCP connection. The stream is
+// reliable and ordered: data events are scheduled in send order and the
+// heap's sequence tie-break preserves FIFO for equal arrival times.
+type simConn struct {
+	node     *Node
+	peer     *simConn
+	peerAddr vri.Addr
+	handler  vri.StreamHandler
+	closed   bool
+	pending  [][]byte // writes issued before the handshake completed
+}
+
+func (c *simConn) RemoteAddr() vri.Addr { return c.peerAddr }
+
+func (c *simConn) Write(data []byte) {
+	if c.closed || !c.node.alive {
+		return
+	}
+	p := make([]byte, len(data))
+	copy(p, data)
+	if c.peer == nil {
+		// Connection still handshaking; queue like a TCP send buffer.
+		c.pending = append(c.pending, p)
+		return
+	}
+	c.transmit(p)
+}
+
+func (c *simConn) transmit(p []byte) {
+	lat := c.node.env.opts.Topology.Latency(c.node.addr, c.peerAddr)
+	c.node.env.schedule(c.node.env.now.Add(lat), nil, func() {
+		peer := c.peer
+		if peer == nil || peer.closed || !peer.node.alive {
+			return
+		}
+		peer.node.env.schedule(peer.node.env.now, peer.node, func() {
+			peer.handler.HandleData(peer, p)
+		})
+	})
+}
+
+func (c *simConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if p := c.peer; p != nil && !p.closed {
+		lat := c.node.env.opts.Topology.Latency(c.node.addr, c.peerAddr)
+		c.node.env.schedule(c.node.env.now.Add(lat), p.node, func() {
+			p.fail(fmt.Errorf("sim: connection closed by peer"))
+		})
+	}
+}
+
+func (c *simConn) fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.handler.HandleError(c, err)
+}
+
+// failPeer is invoked when this endpoint's node dies: the remote side
+// observes a connection error after one propagation delay.
+func (c *simConn) failPeer() {
+	if c.closed {
+		c.closed = true
+	}
+	if p := c.peer; p != nil && !p.closed {
+		lat := c.node.env.opts.Topology.Latency(c.node.addr, c.peerAddr)
+		c.node.env.schedule(c.node.env.now.Add(lat), p.node, func() {
+			p.fail(fmt.Errorf("sim: peer failed"))
+		})
+	}
+}

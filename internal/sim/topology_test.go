@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/vri"
+)
+
+func TestStarLatencySymmetricAndZeroSelf(t *testing.T) {
+	s := NewStar(StarConfig{MinAccess: 10 * time.Millisecond, MaxAccess: 50 * time.Millisecond, Seed: 3})
+	s.Register("a")
+	s.Register("b")
+	if got := s.Latency("a", "a"); got != 0 {
+		t.Errorf("self latency = %v, want 0", got)
+	}
+	ab, ba := s.Latency("a", "b"), s.Latency("b", "a")
+	if ab != ba {
+		t.Errorf("asymmetric: %v vs %v", ab, ba)
+	}
+	if ab < 20*time.Millisecond || ab > 100*time.Millisecond {
+		t.Errorf("latency %v outside [2*min, 2*max]", ab)
+	}
+}
+
+func TestStarRegisterIdempotent(t *testing.T) {
+	s := NewStar(StarConfig{MinAccess: 10 * time.Millisecond, MaxAccess: 50 * time.Millisecond, Seed: 3})
+	s.Register("a")
+	s.Register("b")
+	before := s.Latency("a", "b")
+	s.Register("a")
+	if after := s.Latency("a", "b"); after != before {
+		t.Errorf("re-Register changed latency %v -> %v", before, after)
+	}
+}
+
+func TestTransitStubStructure(t *testing.T) {
+	ts := NewTransitStub(TransitStubConfig{Seed: 5})
+	for i := 0; i < 200; i++ {
+		ts.Register(vri.Addr(fmt.Sprintf("n-%d", i)))
+	}
+	var sameStub, crossTransit time.Duration
+	foundSame, foundCross := false, false
+	for i := 0; i < 200 && !(foundSame && foundCross); i++ {
+		for j := i + 1; j < 200; j++ {
+			a, b := vri.Addr(fmt.Sprintf("n-%d", i)), vri.Addr(fmt.Sprintf("n-%d", j))
+			la, lb := ts.loc[a], ts.loc[b]
+			switch {
+			case la == lb && !foundSame:
+				sameStub = ts.Latency(a, b)
+				foundSame = true
+			case la.transit != lb.transit && !foundCross:
+				crossTransit = ts.Latency(a, b)
+				foundCross = true
+			}
+		}
+	}
+	if !foundSame || !foundCross {
+		t.Fatal("topology did not produce both co-located and cross-transit pairs")
+	}
+	if sameStub >= crossTransit {
+		t.Errorf("intra-stub latency %v not < cross-transit latency %v", sameStub, crossTransit)
+	}
+}
+
+func TestTransitStubSymmetric(t *testing.T) {
+	ts := NewTransitStub(TransitStubConfig{Seed: 5})
+	addrs := make([]vri.Addr, 50)
+	for i := range addrs {
+		addrs[i] = vri.Addr(fmt.Sprintf("n-%d", i))
+		ts.Register(addrs[i])
+	}
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			if ts.Latency(addrs[i], addrs[j]) != ts.Latency(addrs[j], addrs[i]) {
+				t.Fatalf("asymmetric latency between %s and %s", addrs[i], addrs[j])
+			}
+		}
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	cases := []struct{ i, j, n, want int }{
+		{0, 0, 8, 0},
+		{0, 1, 8, 1},
+		{0, 7, 8, 1},
+		{0, 4, 8, 4},
+		{2, 6, 8, 4},
+		{1, 6, 8, 3},
+		{0, 0, 1, 0},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := ringDistance(c.i, c.j, c.n); got != c.want {
+			t.Errorf("ringDistance(%d,%d,%d) = %d, want %d", c.i, c.j, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package vri
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestVRISurfaceMatchesTable1 asserts that the Virtual Runtime Interface
+// exposes the method surface of the paper's Table 1: clock and main
+// scheduler (getCurrentTime, scheduleEvent/handleTimer), UDP
+// (listen/release/send with delivery callbacks), and TCP-style streams
+// (listen/release/connect/disconnect/read/write and the three
+// connection handlers). Names are Go-idiomatic; the per-row mapping is
+// recorded in EXPERIMENTS.md.
+func TestVRISurfaceMatchesTable1(t *testing.T) {
+	assertMethods(t, reflect.TypeOf((*Runtime)(nil)).Elem(), []string{
+		"Now",      // long getCurrentTime()
+		"Schedule", // void scheduleEvent(delay, cbData, cbClient) / handleTimer
+		"Listen",   // void listen(port, callbackClient)
+		"Release",  // void release(port)
+		"Send",     // void send(src, dst, payload, cbData, cbClient) / handleUDPAck
+		"Addr",     // implicit "src" argument of Table 1's send
+		"Rand",     // deterministic simulation support (§3.1.4)
+	})
+	assertMethods(t, reflect.TypeOf((*StreamRuntime)(nil)).Elem(), []string{
+		"ListenStream",  // TCP listen(port, callbackClient)
+		"ReleaseStream", // TCP release(port)
+		"Connect",       // TCPConnection connect(src, dst, cbClient)
+	})
+	assertMethods(t, reflect.TypeOf((*Conn)(nil)).Elem(), []string{
+		"Write", // int write(byteArray)
+		"Close", // disconnect(TCPConnection)
+		"RemoteAddr",
+	})
+	// handleTCPData / handleTCPNew / handleTCPError map onto the
+	// StreamHandler callbacks.
+	assertMethods(t, reflect.TypeOf((*StreamHandler)(nil)).Elem(), []string{
+		"HandleConn", "HandleData", "HandleError",
+	})
+}
+
+func assertMethods(t *testing.T, typ reflect.Type, want []string) {
+	t.Helper()
+	have := map[string]bool{}
+	for i := 0; i < typ.NumMethod(); i++ {
+		have[typ.Method(i).Name] = true
+	}
+	for _, m := range want {
+		if !have[m] {
+			t.Errorf("%s lacks method %s", typ, m)
+		}
+	}
+}
