@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pier/internal/vri"
@@ -46,10 +47,12 @@ type Config struct {
 
 // timerEvent is one entry in the Main Scheduler's priority queue.
 type timerEvent struct {
-	at        time.Time
-	seq       uint64
-	fn        func()
-	cancelled bool
+	at  time.Time
+	seq uint64
+	fn  func()
+	// cancelled is atomic: Cancel may race with the scheduler goroutine
+	// inspecting the heap.
+	cancelled atomic.Bool
 }
 
 type timerHeap []*timerEvent
@@ -97,6 +100,12 @@ type Runtime struct {
 	conns    map[*physConn]struct{}
 
 	cc *udpcc
+
+	// dropOutbound, when non-nil, injects datagram loss for tests:
+	// packets for which it returns true are discarded instead of
+	// written to the socket. Set it before any traffic flows; it is
+	// invoked on the scheduler goroutine.
+	dropOutbound func(dst vri.Addr, pkt []byte) bool
 }
 
 var _ vri.StreamRuntime = (*Runtime)(nil)
@@ -196,7 +205,7 @@ func (r *Runtime) Schedule(delay time.Duration, fn func()) vri.Timer {
 
 type physTimer struct{ ev *timerEvent }
 
-func (t physTimer) Cancel() { t.ev.cancelled = true }
+func (t physTimer) Cancel() { t.ev.cancelled.Store(true) }
 
 // post transfers fn onto the scheduler goroutine.
 func (r *Runtime) post(fn func()) {
@@ -242,7 +251,7 @@ func (r *Runtime) schedulerLoop() {
 		r.mu.Lock()
 		var next *timerEvent
 		for len(r.timers) > 0 {
-			if r.timers[0].cancelled {
+			if r.timers[0].cancelled.Load() {
 				heap.Pop(&r.timers)
 				continue
 			}
@@ -284,7 +293,7 @@ func (r *Runtime) schedulerLoop() {
 				}
 				ev := heap.Pop(&r.timers).(*timerEvent)
 				r.mu.Unlock()
-				if !ev.cancelled {
+				if !ev.cancelled.Load() {
 					ev.fn()
 				}
 			}
@@ -331,6 +340,9 @@ func (r *Runtime) dispatch(src vri.Addr, port vri.Port, payload []byte) {
 // writeDatagram sends one raw packet; called from the scheduler
 // goroutine, but UDP writes do not block meaningfully.
 func (r *Runtime) writeDatagram(dst vri.Addr, pkt []byte) error {
+	if r.dropOutbound != nil && r.dropOutbound(dst, pkt) {
+		return nil
+	}
 	udpAddr, err := net.ResolveUDPAddr("udp", string(dst))
 	if err != nil {
 		return err

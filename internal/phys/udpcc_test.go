@@ -1,0 +1,195 @@
+package phys
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pier/internal/vri"
+)
+
+// newTestPair brings up two runtimes on loopback with fast timeouts so
+// loss-injection tests complete quickly.
+func newTestPair(t *testing.T, maxRetries int) (a, b *Runtime) {
+	t.Helper()
+	var err error
+	a, err = New(Config{RTO: 30 * time.Millisecond, MaxRetries: maxRetries, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err = New(Config{RTO: 30 * time.Millisecond, MaxRetries: maxRetries, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return a, b
+}
+
+// await polls cond (which must be goroutine-safe) until it holds or the
+// deadline passes.
+func await(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// onScheduler runs fn on rt's Main Scheduler goroutine and waits for it,
+// giving tests race-free access to udpcc state.
+func onScheduler(rt *Runtime, fn func()) {
+	done := make(chan struct{})
+	rt.Schedule(0, func() { fn(); close(done) })
+	<-done
+}
+
+// TestUDPCCRetransmitsThroughLoss drops the first two data transmissions
+// of every message and checks UdpCC still delivers exactly once and
+// reports success — the reliable half of reliable-or-notified (§3.1.3).
+func TestUDPCCRetransmitsThroughLoss(t *testing.T) {
+	a, b := newTestPair(t, 6)
+	var dataSends, dropped atomic.Int64
+	a.dropOutbound = func(_ vri.Addr, pkt []byte) bool {
+		if len(pkt) > 0 && pkt[0] == pktData {
+			if n := dataSends.Add(1); n <= 2 {
+				dropped.Add(1)
+				return true
+			}
+		}
+		return false
+	}
+	var delivered atomic.Int64
+	if err := b.Listen(vri.PortQuery, func(src vri.Addr, p []byte) {
+		if string(p) == "payload" {
+			delivered.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var acked atomic.Int64
+	a.Send(b.Addr(), vri.PortQuery, []byte("payload"), func(ok bool) {
+		if ok {
+			acked.Add(1)
+		} else {
+			acked.Add(-100)
+		}
+	})
+	await(t, 5*time.Second, func() bool { return acked.Load() == 1 }, "sender never saw a positive ack")
+	if got := delivered.Load(); got != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", got)
+	}
+	if dropped.Load() != 2 || dataSends.Load() < 3 {
+		t.Fatalf("expected 2 drops then a successful retransmission, got drops=%d sends=%d",
+			dropped.Load(), dataSends.Load())
+	}
+}
+
+// TestUDPCCDuplicateSuppressionUnderAckLoss drops every ack the receiver
+// sends: the sender retransmits until retries are exhausted and reports
+// failure, while the receiver must still deliver the payload exactly
+// once. This is the notified half of reliable-or-notified — the sender
+// may be told "failed" even though delivery happened, but it is never
+// left in the dark.
+func TestUDPCCDuplicateSuppressionUnderAckLoss(t *testing.T) {
+	a, b := newTestPair(t, 3)
+	b.dropOutbound = func(_ vri.Addr, pkt []byte) bool {
+		return len(pkt) > 0 && pkt[0] == pktAck
+	}
+	var delivered atomic.Int64
+	if err := b.Listen(vri.PortQuery, func(vri.Addr, []byte) {
+		delivered.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	result := make(chan bool, 1)
+	a.Send(b.Addr(), vri.PortQuery, []byte("x"), func(ok bool) { result <- ok })
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("sender reported success though every ack was dropped")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender never notified of delivery outcome")
+	}
+	if got := delivered.Load(); got != 1 {
+		t.Fatalf("receiver delivered %d times, want exactly 1 (duplicate suppression)", got)
+	}
+}
+
+// TestUDPCCAIMDWindow checks both halves of AIMD: the congestion window
+// grows additively past its initial value under a healthy ack stream,
+// and collapses multiplicatively (floored at 1) when timeouts hit.
+func TestUDPCCAIMDWindow(t *testing.T) {
+	a, b := newTestPair(t, 2)
+	if err := b.Listen(vri.PortQuery, func(vri.Addr, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 64
+	var acks atomic.Int64
+	for i := 0; i < burst; i++ {
+		a.Send(b.Addr(), vri.PortQuery, []byte("grow"), func(ok bool) {
+			if ok {
+				acks.Add(1)
+			}
+		})
+	}
+	await(t, 5*time.Second, func() bool { return acks.Load() == burst }, "burst not fully acked")
+	var grown float64
+	onScheduler(a, func() { grown = a.cc.flow(b.Addr()).cwnd })
+	if grown <= initialWindow {
+		t.Fatalf("cwnd = %.2f after %d acks, want additive growth beyond %d", grown, burst, initialWindow)
+	}
+
+	// Now black-hole the link: timeouts must halve the window down to
+	// its floor of 1 while the send fails over to notification.
+	a.dropOutbound = func(_ vri.Addr, pkt []byte) bool { return true }
+	nacked := make(chan struct{})
+	a.Send(b.Addr(), vri.PortQuery, []byte("shrink"), func(ok bool) {
+		if !ok {
+			close(nacked)
+		}
+	})
+	select {
+	case <-nacked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("send through a black hole was never notified")
+	}
+	var shrunk float64
+	onScheduler(a, func() { shrunk = a.cc.flow(b.Addr()).cwnd })
+	if shrunk >= grown {
+		t.Fatalf("cwnd = %.2f after repeated timeouts, want multiplicative decrease from %.2f", shrunk, grown)
+	}
+	if shrunk < 1 {
+		t.Fatalf("cwnd = %.2f fell below the floor of 1", shrunk)
+	}
+}
+
+// TestUDPCCWindowQueueDrains exceeds the initial window many times over
+// in one shot and checks every message is eventually delivered and
+// acked: queued messages must enter the window as acks open it up.
+func TestUDPCCWindowQueueDrains(t *testing.T) {
+	a, b := newTestPair(t, 5)
+	const total = 200 // >> initialWindow
+	var delivered atomic.Int64
+	if err := b.Listen(vri.PortQuery, func(vri.Addr, []byte) {
+		delivered.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var acked atomic.Int64
+	for i := 0; i < total; i++ {
+		a.Send(b.Addr(), vri.PortQuery, []byte("q"), func(ok bool) {
+			if ok {
+				acked.Add(1)
+			}
+		})
+	}
+	await(t, 10*time.Second, func() bool {
+		return acked.Load() == total && delivered.Load() == total
+	}, "window queue did not drain every message")
+}

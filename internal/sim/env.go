@@ -4,10 +4,17 @@
 // and network interface, while executing the same program code as the
 // Physical Runtime Environment.
 //
-// One Main Scheduler and one priority queue serve all nodes; events are
-// annotated with the virtual node that must handle them and demultiplexed
-// on dispatch. The network is simulated at message-level granularity (one
-// simulated packet per application message), with pluggable topology and
+// By default one Main Scheduler and one priority queue serve all nodes;
+// events are annotated with the virtual node that must handle them and
+// demultiplexed on dispatch. For large deployments the scheduler can be
+// sharded across worker goroutines with SetWorkers (see sharded.go): the
+// node population is partitioned into per-shard event heaps that advance
+// in conservative time windows bounded by the topology's minimum
+// latency. Both modes are deterministic for a given seed, and the
+// sharded mode produces identical results for any worker count.
+//
+// The network is simulated at message-level granularity (one simulated
+// packet per application message), with pluggable topology and
 // congestion models. Matching the paper, the simulator does not drop
 // messages by default (loss can be enabled) but does simulate complete
 // node failures.
@@ -17,31 +24,42 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"pier/internal/vri"
 )
 
-// event is one entry in the Main Scheduler's priority queue.
+// event is one entry in a scheduler's priority queue. Dispatch order is
+// the total order (at, src, seq): src is the scheduling source's node id
+// (0 for environment-level sources) and seq a per-source counter, so the
+// order is deterministic and — in sharded mode — independent of how many
+// workers raced to enqueue.
 type event struct {
 	at        time.Time
-	seq       uint64 // tie-break so dispatch order is deterministic
-	node      *Node  // nil for environment-level events
+	src       uint64
+	seq       uint64
+	node      *Node // nil for environment-level events
 	fn        func()
 	cancelled bool
 }
 
+func (ev *event) before(other *event) bool {
+	if !ev.at.Equal(other.at) {
+		return ev.at.Before(other.at)
+	}
+	if ev.src != other.src {
+		return ev.src < other.src
+	}
+	return ev.seq < other.seq
+}
+
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -64,13 +82,18 @@ type Options struct {
 	Congestion CongestionModel
 	// LossRate drops each message independently with this probability.
 	// The paper's simulator delivers all messages; this defaults to 0.
+	// In sharded mode the loss decision draws from the sender's random
+	// stream instead of the environment's, so it stays deterministic.
 	LossRate float64
 	// AckTimeout is how long the transport waits before reporting a
 	// failed delivery (dead destination or lost message) to the sender.
 	AckTimeout time.Duration
 	// Start is the virtual time origin. Defaults to Unix epoch.
 	Start time.Time
-	// Trace, if non-nil, receives a line per interesting event.
+	// Trace, if non-nil, receives a line per interesting event. Under
+	// the sharded scheduler trace lines from different shards interleave
+	// in wall-clock order, so trace OUTPUT ordering is excluded from the
+	// determinism guarantee (simulation results remain bit-identical).
 	Trace func(string)
 }
 
@@ -94,18 +117,30 @@ func (o *Options) fill() {
 type Env struct {
 	opts   Options
 	now    time.Time
-	seq    uint64
+	seq    uint64 // environment-source event counter
 	queue  eventHeap
 	nodes  map[vri.Addr]*Node
+	nextID uint64
 	rng    *rand.Rand
-	events uint64 // total dispatched, for stats
-	msgs   uint64 // total messages sent
-	bytes  uint64 // total payload bytes sent
+
+	// Cumulative counters for events executed, messages sent, and
+	// payload bytes sent in environment context. In sharded mode each
+	// shard keeps its own counters; Stats sums them.
+	events uint64
+	msgs   uint64
+	bytes  uint64
 
 	// perNode tallies traffic per node for in/out-bandwidth analyses
 	// (e.g. the hierarchical-aggregation ablation measures root
-	// in-bandwidth).
+	// in-bandwidth). Entries are created at Spawn so sharded workers
+	// only ever read the map.
 	perNode map[vri.Addr]*NodeTraffic
+
+	// par is non-nil when the sharded scheduler is selected via
+	// SetWorkers. See sharded.go.
+	par *parEngine
+
+	traceMu sync.Mutex
 }
 
 // NodeTraffic is one node's cumulative message accounting.
@@ -126,16 +161,29 @@ func NewEnv(opts Options) *Env {
 	}
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. Inside a node's event handler
+// under the sharded scheduler, use the node's Now instead: the
+// environment clock only advances at window barriers there.
 func (e *Env) Now() time.Time { return e.now }
 
 // Rand returns the environment-level random source (used by workload
-// generators and churn injection; nodes have their own streams).
+// generators and churn injection; nodes have their own streams). It must
+// only be used from driver code, never from node event handlers.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // Stats reports cumulative counters: events dispatched, messages sent,
 // payload bytes sent.
-func (e *Env) Stats() (events, msgs, bytes uint64) { return e.events, e.msgs, e.bytes }
+func (e *Env) Stats() (events, msgs, bytes uint64) {
+	events, msgs, bytes = e.events, e.msgs, e.bytes
+	if e.par != nil {
+		for _, sh := range e.par.shards {
+			events += sh.events
+			msgs += sh.msgs
+			bytes += sh.bytes
+		}
+	}
+	return events, msgs, bytes
+}
 
 // Traffic returns the cumulative per-node traffic counters for addr
 // (zero-valued if the node never communicated).
@@ -146,31 +194,42 @@ func (e *Env) Traffic(addr vri.Addr) NodeTraffic {
 	return NodeTraffic{}
 }
 
-func (e *Env) traffic(addr vri.Addr) *NodeTraffic {
-	t := e.perNode[addr]
-	if t == nil {
-		t = &NodeTraffic{}
-		e.perNode[addr] = t
+// scheduleFrom enqueues fn to run at time at on behalf of target (nil =
+// environment), attributed to scheduling source src (nil = environment).
+// The source determines the deterministic tie-break key and — in sharded
+// mode — which shard's structures the event is routed through. Both
+// scheduler modes key events identically, so their dispatch orders (and
+// therefore all simulation results) coincide exactly.
+func (e *Env) scheduleFrom(src *Node, at time.Time, target *Node, fn func()) *event {
+	if e.par == nil {
+		if at.Before(e.now) {
+			at = e.now
+		}
+		ev := &event{at: at, node: target, fn: fn}
+		if src != nil {
+			src.srcSeq++
+			ev.src, ev.seq = src.id, src.srcSeq
+		} else {
+			e.seq++
+			ev.seq = e.seq
+		}
+		heap.Push(&e.queue, ev)
+		return ev
 	}
-	return t
-}
-
-// schedule enqueues fn to run at time at on behalf of node (nil = env).
-func (e *Env) schedule(at time.Time, node *Node, fn func()) *event {
-	if at.Before(e.now) {
-		at = e.now
-	}
-	e.seq++
-	ev := &event{at: at, seq: e.seq, node: node, fn: fn}
-	heap.Push(&e.queue, ev)
-	return ev
+	return e.par.schedule(e, src, at, target, fn)
 }
 
 // Schedule enqueues an environment-level event after delay. It is used by
 // drivers (workload generators, churn scripts) that are not themselves
-// virtual nodes.
+// virtual nodes. Under the sharded scheduler such events run alone at
+// window barriers and may therefore touch cross-node driver state; they
+// must not be scheduled from inside node event handlers there (use the
+// node's Schedule for that).
 func (e *Env) Schedule(delay time.Duration, fn func()) vri.Timer {
-	ev := e.schedule(e.now.Add(delay), nil, fn)
+	if e.par != nil && e.par.inWindow {
+		panic("sim: Env.Schedule called from a node event under the sharded scheduler; use Node.Schedule")
+	}
+	ev := e.scheduleFrom(nil, e.now.Add(delay), nil, fn)
 	return timerHandle{ev}
 }
 
@@ -179,16 +238,23 @@ type timerHandle struct{ ev *event }
 func (t timerHandle) Cancel() { t.ev.cancelled = true }
 
 // Step dispatches the single next event, advancing virtual time. It
-// returns false when the queue is empty.
+// returns false when the queue is empty. Step requires the sequential
+// scheduler (the default); use Run or Drain with the sharded one.
 func (e *Env) Step() bool {
+	if e.par != nil {
+		panic("sim: Step requires the sequential scheduler; call SetWorkers(0) first")
+	}
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.cancelled {
 			continue
 		}
 		e.now = ev.at
-		if ev.node != nil && !ev.node.alive {
-			continue // events for failed nodes are discarded
+		if ev.node != nil {
+			if !ev.node.alive {
+				continue // events for failed nodes are discarded
+			}
+			ev.node.now = ev.at
 		}
 		e.events++
 		ev.fn()
@@ -206,6 +272,10 @@ func (e *Env) Run(d time.Duration) {
 // RunUntil dispatches events until the queue is empty or the next event
 // is after deadline; virtual time ends at deadline.
 func (e *Env) RunUntil(deadline time.Time) {
+	if e.par != nil {
+		e.par.run(e, deadline, false)
+		return
+	}
 	for len(e.queue) > 0 {
 		// Peek without popping.
 		next := e.queue[0]
@@ -222,26 +292,43 @@ func (e *Env) RunUntil(deadline time.Time) {
 // Drain dispatches every remaining event regardless of time. Useful in
 // tests that want quiescence.
 func (e *Env) Drain() {
+	if e.par != nil {
+		e.par.run(e, time.Time{}, true)
+		return
+	}
 	for e.Step() {
 	}
 }
 
 // Spawn creates a live virtual node with the given name and returns its
-// runtime. Names must be unique among live and failed nodes.
+// runtime. Names must be unique among live and failed nodes. Under the
+// sharded scheduler, Spawn may only be called from driver code (between
+// runs or inside environment-level events), never from node handlers.
 func (e *Env) Spawn(name string) *Node {
+	if e.par != nil && e.par.inWindow {
+		panic("sim: Spawn called from a node event under the sharded scheduler")
+	}
 	addr := vri.Addr(name)
 	if _, ok := e.nodes[addr]; ok {
 		panic(fmt.Sprintf("sim: duplicate node %q", name))
 	}
+	e.nextID++
 	n := &Node{
 		env:      e,
 		addr:     addr,
+		id:       e.nextID,
 		alive:    true,
+		now:      e.now,
 		handlers: make(map[vri.Port]vri.MessageHandler),
 		streams:  make(map[vri.Port]vri.StreamHandler),
 		rng:      rand.New(rand.NewSource(e.opts.Seed ^ int64(fnvHash(name)))),
+		traf:     &NodeTraffic{},
+	}
+	if e.par != nil {
+		n.shard = int((n.id - 1) % uint64(e.par.k))
 	}
 	e.nodes[addr] = n
+	e.perNode[addr] = n.traf
 	e.opts.Topology.Register(addr)
 	return n
 }
@@ -262,8 +349,12 @@ func (e *Env) Node(addr vri.Addr) *Node {
 
 // Fail kills a node: pending and future events for it are discarded, its
 // handlers are dropped, and messages addressed to it fail delivery. This
-// models the paper's "complete node failures".
+// models the paper's "complete node failures". Under the sharded
+// scheduler, Fail may only be called from driver code.
 func (e *Env) Fail(addr vri.Addr) {
+	if e.par != nil && e.par.inWindow {
+		panic("sim: Fail called from a node event under the sharded scheduler")
+	}
 	n := e.nodes[addr]
 	if n == nil || !n.alive {
 		return
@@ -275,7 +366,7 @@ func (e *Env) Fail(addr vri.Addr) {
 	n.conns = nil
 	n.handlers = make(map[vri.Port]vri.MessageHandler)
 	n.streams = make(map[vri.Port]vri.StreamHandler)
-	e.trace("FAIL %s", addr)
+	e.trace(e.now, "FAIL %s", addr)
 }
 
 // Alive reports whether the node exists and has not failed.
@@ -295,39 +386,56 @@ func (e *Env) LiveAddrs() []vri.Addr {
 	return out
 }
 
-func (e *Env) trace(format string, args ...any) {
+func (e *Env) trace(at time.Time, format string, args ...any) {
 	if e.opts.Trace != nil {
-		e.opts.Trace(fmt.Sprintf("%s "+format, append([]any{e.now.Format("15:04:05.000")}, args...)...))
+		e.traceMu.Lock()
+		e.opts.Trace(fmt.Sprintf("%s "+format, append([]any{at.Format("15:04:05.000")}, args...)...))
+		e.traceMu.Unlock()
 	}
 }
 
 // deliver routes a datagram through the network model. It computes the
 // departure time from the congestion model, adds propagation latency from
 // the topology, and schedules the receive event on the destination and
-// the ack event on the source.
+// the ack event on the source. It always executes in src's context: on
+// src's shard worker during a window, or in driver context otherwise.
 func (e *Env) deliver(src *Node, dst vri.Addr, dstPort vri.Port, payload []byte, ack vri.AckFunc) {
-	e.msgs++
-	e.bytes += uint64(len(payload))
-	out := e.traffic(src.addr)
-	out.MsgsOut++
-	out.BytesOut += uint64(len(payload))
+	now := src.timeNow()
+	if e.par != nil && e.par.inWindow {
+		sh := e.par.shards[src.shard]
+		sh.msgs++
+		sh.bytes += uint64(len(payload))
+	} else {
+		e.msgs++
+		e.bytes += uint64(len(payload))
+	}
+	src.traf.MsgsOut++
+	src.traf.BytesOut += uint64(len(payload))
 	size := len(payload) + 48 // crude header overhead
-	departure := e.opts.Congestion.Departure(e.now, src.addr, dst, size)
+	departure := e.opts.Congestion.Departure(now, src.addr, dst, size)
 	latency := e.opts.Topology.Latency(src.addr, dst)
 	arrival := departure.Add(latency)
 
-	lost := e.opts.LossRate > 0 && e.rng.Float64() < e.opts.LossRate
+	var lost bool
+	if e.opts.LossRate > 0 {
+		// The environment rng is not safe under sharded workers; draw
+		// from the sender's stream there (deterministic either way).
+		if e.par != nil {
+			lost = src.rng.Float64() < e.opts.LossRate
+		} else {
+			lost = e.rng.Float64() < e.opts.LossRate
+		}
+	}
 	dstNode := e.nodes[dst]
 	if lost || dstNode == nil || !dstNode.alive {
 		if ack != nil {
-			e.schedule(e.now.Add(e.opts.AckTimeout), src, func() { ack(false) })
+			e.scheduleFrom(src, now.Add(e.opts.AckTimeout), src, func() { ack(false) })
 		}
 		return
 	}
-	e.schedule(arrival, dstNode, func() {
-		in := e.traffic(dst)
-		in.MsgsIn++
-		in.BytesIn += uint64(len(payload))
+	e.scheduleFrom(src, arrival, dstNode, func() {
+		dstNode.traf.MsgsIn++
+		dstNode.traf.BytesIn += uint64(len(payload))
 		h := dstNode.handlers[dstPort]
 		if h != nil {
 			h(src.addr, payload)
@@ -336,7 +444,7 @@ func (e *Env) deliver(src *Node, dst vri.Addr, dstPort vri.Port, payload []byte,
 		// failed meanwhile the ack event is silently discarded.
 		if ack != nil {
 			back := e.opts.Topology.Latency(dst, src.addr)
-			e.schedule(e.now.Add(back), src, func() { ack(true) })
+			e.scheduleFrom(dstNode, dstNode.timeNow().Add(back), src, func() { ack(true) })
 		}
 	})
 }

@@ -9,17 +9,31 @@ import (
 )
 
 // Node is one virtual node's binding of the Virtual Runtime Interface.
-// All of its events run on the environment's single Main Scheduler, which
-// demultiplexes them by node (Figure 4). Node implements
-// vri.StreamRuntime.
+// All of its events run on the environment's Main Scheduler — or, under
+// the sharded scheduler, on the single worker that owns its shard — so
+// per-node execution is always sequential and in event order. Node
+// implements vri.StreamRuntime.
 type Node struct {
-	env      *Env
-	addr     vri.Addr
-	alive    bool
+	env  *Env
+	addr vri.Addr
+	// id is the node's spawn index (1-based; 0 is the environment). It
+	// tie-breaks same-instant events deterministically and derives the
+	// node's shard assignment.
+	id    uint64
+	shard int
+	alive bool
+	// now is the node's logical clock: the timestamp of the event it is
+	// currently dispatching. Only the owning shard worker touches it.
+	now time.Time
+	// srcSeq counts events this node has scheduled, giving every event a
+	// per-source sequence number that is deterministic regardless of
+	// worker count.
+	srcSeq   uint64
 	handlers map[vri.Port]vri.MessageHandler
 	streams  map[vri.Port]vri.StreamHandler
 	conns    []*simConn
 	rng      *rand.Rand
+	traf     *NodeTraffic
 }
 
 var _ vri.StreamRuntime = (*Node)(nil)
@@ -27,8 +41,18 @@ var _ vri.StreamRuntime = (*Node)(nil)
 // Addr returns the node's address.
 func (n *Node) Addr() vri.Addr { return n.addr }
 
-// Now returns the environment's virtual time.
-func (n *Node) Now() time.Time { return n.env.now }
+// Now returns the virtual time as observed by this node: the timestamp
+// of the event being dispatched, exact in both scheduler modes.
+func (n *Node) Now() time.Time { return n.timeNow() }
+
+// timeNow is the node's clock source: its own event timestamp while a
+// sharded window is executing, the environment clock otherwise.
+func (n *Node) timeNow() time.Time {
+	if p := n.env.par; p != nil && p.inWindow {
+		return n.now
+	}
+	return n.env.now
+}
 
 // Rand returns the node's deterministic random stream.
 func (n *Node) Rand() *rand.Rand { return n.rng }
@@ -36,10 +60,10 @@ func (n *Node) Rand() *rand.Rand { return n.rng }
 // Alive reports whether the node has not failed.
 func (n *Node) Alive() bool { return n.alive }
 
-// Schedule enqueues fn on the Main Scheduler after delay, attributed to
-// this node; it is dropped if the node fails first.
+// Schedule enqueues fn on the scheduler after delay, attributed to this
+// node; it is dropped if the node fails first.
 func (n *Node) Schedule(delay time.Duration, fn func()) vri.Timer {
-	ev := n.env.schedule(n.env.now.Add(delay), n, fn)
+	ev := n.env.scheduleFrom(n, n.timeNow().Add(delay), n, fn)
 	return timerHandle{ev}
 }
 
@@ -69,7 +93,7 @@ func (n *Node) Send(dst vri.Addr, dstPort vri.Port, payload []byte, ack vri.AckF
 
 // Logf emits a trace line attributed to this node and virtual time.
 func (n *Node) Logf(format string, args ...any) {
-	n.env.trace("[%s] "+format, append([]any{n.addr}, args...)...)
+	n.env.trace(n.timeNow(), "[%s] "+format, append([]any{n.addr}, args...)...)
 }
 
 // ListenStream registers a TCP-style accept handler for port.
@@ -85,42 +109,62 @@ func (n *Node) ListenStream(port vri.Port, h vri.StreamHandler) error {
 func (n *Node) ReleaseStream(port vri.Port) { delete(n.streams, port) }
 
 // Connect opens a simulated TCP connection to (dst, dstPort). Connection
-// setup costs one round trip of propagation latency.
+// setup costs one round trip of propagation latency: the SYN reaches the
+// peer after one-way latency, where an environment-level handshake event
+// links the endpoints (at a window barrier under the sharded scheduler,
+// so it may touch both), and each side observes the established — or
+// refused — connection a full RTT after Connect.
 func (n *Node) Connect(dst vri.Addr, dstPort vri.Port, h vri.StreamHandler) (vri.Conn, error) {
 	if !n.alive {
 		return nil, fmt.Errorf("sim: %s: node failed", n.addr)
 	}
 	local := &simConn{node: n, peerAddr: dst, handler: h}
 	n.conns = append(n.conns, local)
-	rtt := n.env.opts.Topology.Latency(n.addr, dst) * 2
-	n.env.schedule(n.env.now.Add(rtt), n, func() {
-		peer := n.env.nodes[dst]
+	e := n.env
+	lat := e.opts.Topology.Latency(n.addr, dst)
+	e.scheduleFrom(n, n.timeNow().Add(lat), nil, func() {
+		if !n.alive {
+			return // initiator died during the handshake
+		}
+		hsNow := e.now
+		peer := e.nodes[dst]
 		if peer == nil || !peer.alive {
-			local.fail(fmt.Errorf("sim: connect %s: unreachable", dst))
+			e.scheduleFrom(nil, hsNow.Add(lat), n, func() {
+				local.fail(fmt.Errorf("sim: connect %s: unreachable", dst))
+			})
 			return
 		}
 		ph := peer.streams[dstPort]
 		if ph == nil {
-			local.fail(fmt.Errorf("sim: connect %s port %d: refused", dst, dstPort))
+			e.scheduleFrom(nil, hsNow.Add(lat), n, func() {
+				local.fail(fmt.Errorf("sim: connect %s port %d: refused", dst, dstPort))
+			})
 			return
 		}
-		remote := &simConn{node: peer, peerAddr: n.addr, handler: ph}
+		remote := &simConn{node: peer, peerAddr: n.addr, handler: ph, peer: local}
 		peer.conns = append(peer.conns, remote)
-		local.peer, remote.peer = remote, local
 		// Accept runs as an event on the peer node.
-		n.env.schedule(n.env.now, peer, func() { ph.HandleConn(remote) })
-		// Flush writes buffered during the handshake, in order.
-		for _, p := range local.pending {
-			local.transmit(p)
-		}
-		local.pending = nil
+		e.scheduleFrom(nil, hsNow.Add(lat), peer, func() { ph.HandleConn(remote) })
+		// The initiator links up and flushes writes buffered during the
+		// handshake, in order.
+		e.scheduleFrom(nil, hsNow.Add(lat), n, func() {
+			local.peer = remote
+			pending := local.pending
+			local.pending = nil
+			for _, p := range pending {
+				local.transmit(p)
+			}
+		})
 	})
 	return local, nil
 }
 
 // simConn is one endpoint of a simulated TCP connection. The stream is
 // reliable and ordered: data events are scheduled in send order and the
-// heap's sequence tie-break preserves FIFO for equal arrival times.
+// per-source sequence tie-break preserves FIFO for equal arrival times.
+// Each endpoint's mutable state is touched only by its own node's
+// events (plus environment-level handshake/failure events, which run at
+// barriers under the sharded scheduler).
 type simConn struct {
 	node     *Node
 	peer     *simConn
@@ -147,15 +191,14 @@ func (c *simConn) Write(data []byte) {
 }
 
 func (c *simConn) transmit(p []byte) {
-	lat := c.node.env.opts.Topology.Latency(c.node.addr, c.peerAddr)
-	c.node.env.schedule(c.node.env.now.Add(lat), nil, func() {
-		peer := c.peer
-		if peer == nil || peer.closed || !peer.node.alive {
+	e := c.node.env
+	lat := e.opts.Topology.Latency(c.node.addr, c.peerAddr)
+	peer := c.peer
+	e.scheduleFrom(c.node, c.node.timeNow().Add(lat), peer.node, func() {
+		if peer.closed || !peer.node.alive {
 			return
 		}
-		peer.node.env.schedule(peer.node.env.now, peer.node, func() {
-			peer.handler.HandleData(peer, p)
-		})
+		peer.handler.HandleData(peer, p)
 	})
 }
 
@@ -165,8 +208,9 @@ func (c *simConn) Close() {
 	}
 	c.closed = true
 	if p := c.peer; p != nil && !p.closed {
-		lat := c.node.env.opts.Topology.Latency(c.node.addr, c.peerAddr)
-		c.node.env.schedule(c.node.env.now.Add(lat), p.node, func() {
+		e := c.node.env
+		lat := e.opts.Topology.Latency(c.node.addr, c.peerAddr)
+		e.scheduleFrom(c.node, c.node.timeNow().Add(lat), p.node, func() {
 			p.fail(fmt.Errorf("sim: connection closed by peer"))
 		})
 	}
@@ -181,14 +225,17 @@ func (c *simConn) fail(err error) {
 }
 
 // failPeer is invoked when this endpoint's node dies: the remote side
-// observes a connection error after one propagation delay.
+// observes a connection error after one propagation delay. It runs in
+// driver context (Env.Fail), never inside a sharded window.
 func (c *simConn) failPeer() {
 	if c.closed {
-		c.closed = true
+		return // the peer was already notified when this side closed
 	}
+	c.closed = true
 	if p := c.peer; p != nil && !p.closed {
-		lat := c.node.env.opts.Topology.Latency(c.node.addr, c.peerAddr)
-		c.node.env.schedule(c.node.env.now.Add(lat), p.node, func() {
+		e := c.node.env
+		lat := e.opts.Topology.Latency(c.node.addr, c.peerAddr)
+		e.scheduleFrom(c.node, e.now.Add(lat), p.node, func() {
 			p.fail(fmt.Errorf("sim: peer failed"))
 		})
 	}

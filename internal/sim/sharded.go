@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// This file implements the sharded Main Scheduler (opt-in via
+// Env.SetWorkers). The design is a conservative parallel discrete-event
+// simulation:
+//
+//   - Virtual nodes are partitioned across K shards, each with its own
+//     event heap, executed by one worker goroutine per shard.
+//   - Execution proceeds in time windows [T, T+L), where the lookahead L
+//     is the topology's minimum inter-node latency. Within a window every
+//     shard dispatches its own events independently: any event one node
+//     schedules on another travels through the simulated network, so it
+//     lands at least L in the future — past the window edge — and cannot
+//     affect another shard's current window.
+//   - Events created for another shard (or for the environment) are
+//     buffered in per-destination outboxes and merged at the window
+//     barrier. Environment-level events (drivers: workload generators,
+//     churn scripts) run alone at barriers, so they may safely touch
+//     cross-node driver state.
+//
+// Determinism: dispatch order is the strict total order (at, src, seq)
+// where src is the scheduling node's id and seq a per-source counter.
+// Both are assigned by the single worker that owns the source, so the
+// key of every event — and therefore the dispatch order observed by any
+// single node — is independent of the worker count and of how barrier
+// merges interleave. The same seed yields the same results at K=1 and
+// K=8; TestShardedDeterminismAcrossWorkerCounts locks this in.
+type parEngine struct {
+	k         int
+	lookahead time.Duration
+	shards    []*shard
+
+	// inWindow is true while shard workers are dispatching a window. It
+	// is written by the coordinator strictly before releasing workers
+	// and after they all park, so reads from workers are race-free.
+	inWindow bool
+}
+
+// shard is one partition of the node population: an event heap owned by
+// a single worker goroutine, per-destination-shard outboxes for events
+// created during a window, and shard-local counters folded into Env
+// statistics on demand.
+type shard struct {
+	id   int
+	heap eventHeap
+	// out[d] buffers events targeting shard d; outEnv buffers
+	// environment-level events. Merged at window barriers.
+	out    [][]*event
+	outEnv []*event
+
+	events, msgs, bytes uint64
+	lastAt              time.Time
+}
+
+// SetWorkers selects the scheduler. k <= 0 restores the default
+// sequential Main Scheduler. k >= 1 enables the sharded scheduler with k
+// worker shards; k == 1 runs the same windowed algorithm inline, so a
+// single-worker run is bit-identical to any other worker count. Pending
+// events and nodes are migrated, so SetWorkers may be called before or
+// after Spawn, but not from inside a run.
+//
+// The sharded scheduler requires a topology whose MinLatency is
+// positive: the lookahead window would otherwise be empty and no
+// parallel progress possible.
+func (e *Env) SetWorkers(k int) {
+	if e.par != nil && e.par.inWindow {
+		panic("sim: SetWorkers called during a run")
+	}
+	// Collect every pending event from the current structures.
+	var pending []*event
+	pending = append(pending, e.queue...)
+	e.queue = nil
+	if e.par != nil {
+		for _, sh := range e.par.shards {
+			pending = append(pending, sh.heap...)
+			e.events += sh.events
+			e.msgs += sh.msgs
+			e.bytes += sh.bytes
+		}
+		e.par = nil
+	}
+	if k <= 0 {
+		e.queue = pending
+		heap.Init(&e.queue)
+		return
+	}
+	la := e.opts.Topology.MinLatency()
+	if la <= 0 {
+		panic(fmt.Sprintf("sim: SetWorkers(%d) needs a topology with positive MinLatency, got %v", k, la))
+	}
+	p := &parEngine{k: k, lookahead: la, shards: make([]*shard, k)}
+	for i := range p.shards {
+		p.shards[i] = &shard{id: i, out: make([][]*event, k)}
+	}
+	for _, n := range e.nodes {
+		n.shard = int((n.id - 1) % uint64(k))
+	}
+	e.par = p
+	for _, ev := range pending {
+		if ev.node != nil {
+			heap.Push(&p.shards[ev.node.shard].heap, ev)
+		} else {
+			heap.Push(&e.queue, ev)
+		}
+	}
+}
+
+// Workers reports the configured worker count (0 = sequential default).
+func (e *Env) Workers() int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.k
+}
+
+// schedule routes one event in sharded mode. During a window it may only
+// be called from the worker that owns src; src == nil implies driver
+// context (coordinator), which is safe because workers are parked.
+func (p *parEngine) schedule(e *Env, src *Node, at time.Time, target *Node, fn func()) *event {
+	var base time.Time
+	if src != nil && p.inWindow {
+		base = src.now
+	} else {
+		base = e.now
+	}
+	if at.Before(base) {
+		at = base
+	}
+	ev := &event{at: at, node: target, fn: fn}
+	if src != nil {
+		src.srcSeq++
+		ev.src, ev.seq = src.id, src.srcSeq
+	} else {
+		e.seq++
+		ev.seq = e.seq
+	}
+	if p.inWindow && src != nil {
+		sh := p.shards[src.shard]
+		switch {
+		case target == nil:
+			sh.outEnv = append(sh.outEnv, ev)
+		case target.shard == src.shard:
+			heap.Push(&sh.heap, ev)
+		default:
+			sh.out[target.shard] = append(sh.out[target.shard], ev)
+		}
+		return ev
+	}
+	// Coordinator context: workers are parked, every heap is safe.
+	if target != nil {
+		heap.Push(&p.shards[target.shard].heap, ev)
+	} else {
+		heap.Push(&e.queue, ev)
+	}
+	return ev
+}
+
+// dispatchWindow pops and runs this shard's events with at < end.
+func (sh *shard) dispatchWindow(end time.Time) {
+	for len(sh.heap) > 0 {
+		top := sh.heap[0]
+		if !top.at.Before(end) {
+			break
+		}
+		heap.Pop(&sh.heap)
+		if top.cancelled {
+			continue
+		}
+		n := top.node
+		if !n.alive {
+			continue
+		}
+		n.now = top.at
+		sh.lastAt = top.at
+		sh.events++
+		top.fn()
+	}
+}
+
+// mergeInbound moves events addressed to this shard out of every shard's
+// outboxes into this shard's heap. Each worker merges only its own
+// inbound lane, so the merge parallelizes; heap order is a strict total
+// order on (at, src, seq), so the result is independent of lane order.
+func (sh *shard) mergeInbound(shards []*shard) {
+	for _, from := range shards {
+		lane := from.out[sh.id]
+		for _, ev := range lane {
+			heap.Push(&sh.heap, ev)
+		}
+		from.out[sh.id] = lane[:0]
+	}
+}
+
+// peekMin returns the earliest pending event time across shard heaps.
+func (p *parEngine) peekMin() (time.Time, bool) {
+	var best time.Time
+	ok := false
+	for _, sh := range p.shards {
+		if len(sh.heap) == 0 {
+			continue
+		}
+		at := sh.heap[0].at
+		if !ok || at.Before(best) {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}
+
+// run is the sharded counterpart of RunUntil (drain == false) and Drain
+// (drain == true). The coordinator alternates between running due
+// environment-level events (alone, at barriers) and releasing the shard
+// workers for one conservative window.
+func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
+	var starts []chan time.Time
+	var done chan struct{}
+	if p.k > 1 {
+		starts = make([]chan time.Time, p.k)
+		done = make(chan struct{}, p.k)
+		for i := 0; i < p.k; i++ {
+			starts[i] = make(chan time.Time)
+			go func(sh *shard, start <-chan time.Time) {
+				for end := range start {
+					if end.IsZero() { // merge phase
+						sh.mergeInbound(p.shards)
+					} else {
+						sh.dispatchWindow(end)
+					}
+					done <- struct{}{}
+				}
+			}(p.shards[i], starts[i])
+		}
+		defer func() {
+			for _, c := range starts {
+				close(c)
+			}
+		}()
+	}
+	barrier := func(end time.Time) {
+		if p.k == 1 {
+			if end.IsZero() {
+				p.shards[0].mergeInbound(p.shards)
+			} else {
+				p.shards[0].dispatchWindow(end)
+			}
+			return
+		}
+		for _, c := range starts {
+			c <- end
+		}
+		for i := 0; i < p.k; i++ {
+			<-done
+		}
+	}
+
+	for {
+		nmin, okN := p.peekMin()
+		var gmin time.Time
+		okG := len(e.queue) > 0
+		if okG {
+			gmin = e.queue[0].at
+		}
+		if !okN && !okG {
+			break
+		}
+		// Environment-level events run first on ties: their source id 0
+		// sorts below every node id, matching the sequential order.
+		if okG && (!okN || !nmin.Before(gmin)) {
+			if !drain && gmin.After(deadline) {
+				break
+			}
+			ev := heap.Pop(&e.queue).(*event)
+			if ev.cancelled {
+				continue
+			}
+			if ev.at.After(e.now) {
+				e.now = ev.at
+			}
+			if ev.node != nil {
+				if !ev.node.alive {
+					continue
+				}
+				ev.node.now = ev.at
+			}
+			e.events++
+			ev.fn()
+			continue
+		}
+		if !drain && nmin.After(deadline) {
+			break
+		}
+		end := nmin.Add(p.lookahead)
+		if okG && gmin.Before(end) {
+			end = gmin
+		}
+		if !drain {
+			if max := deadline.Add(time.Nanosecond); max.Before(end) {
+				end = max
+			}
+		}
+		p.inWindow = true
+		barrier(end)
+		p.inWindow = false
+		barrier(time.Time{}) // merge inbound lanes in parallel
+		// Environment-level events created inside the window, and the
+		// clock: both are coordinator work.
+		for _, sh := range p.shards {
+			for _, ev := range sh.outEnv {
+				heap.Push(&e.queue, ev)
+			}
+			sh.outEnv = sh.outEnv[:0]
+			if sh.lastAt.After(e.now) {
+				e.now = sh.lastAt
+			}
+		}
+	}
+	if !drain && e.now.Before(deadline) {
+		e.now = deadline
+	}
+}

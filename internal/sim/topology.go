@@ -13,12 +13,20 @@ import (
 // transit-stub (§3.1.4).
 type Topology interface {
 	// Register assigns a network location to a new node. It is called
-	// once per node by Env.Spawn.
+	// once per node by Env.Spawn, always from driver context — never
+	// concurrently with Latency calls from sharded workers.
 	Register(addr vri.Addr)
 	// Latency returns one-way propagation delay from a to b. Latency to
 	// self is zero. Implementations must be deterministic for a given
-	// seed and registration order.
+	// seed and registration order, and safe for concurrent calls (the
+	// sharded scheduler queries latency from every worker).
 	Latency(a, b vri.Addr) time.Duration
+	// MinLatency returns a positive lower bound on Latency(a, b) for
+	// any two distinct registered nodes. The sharded scheduler uses it
+	// as the conservative lookahead: no node can affect another sooner
+	// than this bound, so events within one lookahead window are safe
+	// to dispatch in parallel.
+	MinLatency() time.Duration
 }
 
 // StarConfig parameterizes a Star topology.
@@ -34,8 +42,11 @@ type StarConfig struct {
 // population of DSL/cable hosts whose bottleneck is the last mile
 // (§2.1.1).
 type Star struct {
-	cfg    StarConfig
-	rng    *rand.Rand
+	cfg StarConfig
+	rng *rand.Rand
+	// mu serializes Register; Latency reads access without locking,
+	// which is safe because registration happens in driver context and
+	// the scheduler's window barriers order it against worker reads.
 	mu     sync.Mutex
 	access map[vri.Addr]time.Duration
 }
@@ -75,10 +86,12 @@ func (s *Star) Latency(a, b vri.Addr) time.Duration {
 	if a == b {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.access[a] + s.access[b]
 }
+
+// MinLatency is twice the minimum access latency: both endpoints of any
+// distinct pair pay at least one access hop.
+func (s *Star) MinLatency() time.Duration { return 2 * s.cfg.MinAccess }
 
 // TransitStubConfig parameterizes a TransitStub topology.
 type TransitStubConfig struct {
@@ -138,8 +151,10 @@ type tsLoc struct {
 // nodes is the sum of the hops on the stub→transit→(inter-transit)→
 // transit→stub path.
 type TransitStub struct {
-	cfg  TransitStubConfig
-	rng  *rand.Rand
+	cfg TransitStubConfig
+	rng *rand.Rand
+	// mu serializes Register; Latency reads loc without locking (see
+	// Star for why that is safe).
 	mu   sync.Mutex
 	loc  map[vri.Addr]tsLoc
 	next int
@@ -184,9 +199,7 @@ func (t *TransitStub) Latency(a, b vri.Addr) time.Duration {
 	if a == b {
 		return 0
 	}
-	t.mu.Lock()
 	la, lb := t.loc[a], t.loc[b]
-	t.mu.Unlock()
 	c := t.cfg
 	if la == lb {
 		return c.IntraStub
@@ -203,6 +216,16 @@ func (t *TransitStub) Latency(a, b vri.Addr) time.Duration {
 		d += time.Duration(ringDistance(0, lb.router, c.RoutersPerTransit)) * c.TransitHop
 	}
 	return d
+}
+
+// MinLatency is the smallest delay any distinct pair can have: sharing
+// one stub domain costs IntraStub, while neighbors in different stubs
+// off the same router cost two stub uplinks — whichever is less.
+func (t *TransitStub) MinLatency() time.Duration {
+	if up := 2 * t.cfg.StubUplink; up < t.cfg.IntraStub {
+		return up
+	}
+	return t.cfg.IntraStub
 }
 
 func ringDistance(i, j, n int) int {

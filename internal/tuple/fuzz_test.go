@@ -1,0 +1,81 @@
+package tuple
+
+import (
+	"errors"
+	"testing"
+
+	"pier/internal/wire"
+)
+
+// FuzzTupleDecode throws hostile frames at the tuple codec: Decode must
+// never panic, must classify every failure as a wire-level truncation or
+// oversize, and any frame it accepts must survive a re-encode/re-decode
+// round trip unchanged (self-describing stability).
+func FuzzTupleDecode(f *testing.F) {
+	good := New("fwlogs").
+		Set("src", String("10.20.30.40")).
+		Set("dstport", Int(443)).
+		Set("severity", Int(3)).
+		Set("score", Float(0.5)).
+		Set("ok", Bool(true)).
+		Set("blob", Bytes([]byte{1, 2, 3})).
+		Set("nothing", Null())
+	f.Add(good.Encode())
+	f.Add(New("empty").Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 'h', 'i', 0xff, 0xff}) // huge column count
+	f.Add(good.Encode()[:8])                        // truncated mid-header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})      // oversized table name
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrOversized) {
+				t.Fatalf("Decode error is neither ErrTruncated nor ErrOversized: %v", err)
+			}
+			return
+		}
+		enc := tup.Encode()
+		again, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded tuple failed: %v", err)
+		}
+		if again.String() != tup.String() {
+			t.Fatalf("round trip changed the tuple:\n first: %s\nsecond: %s", tup, again)
+		}
+	})
+}
+
+// FuzzTupleDecodeFrom checks the streaming decoder used for batched
+// frames: decoding two concatenated tuples recovers both, and a failure
+// in the second leaves the first intact.
+func FuzzTupleDecodeFrom(f *testing.F) {
+	one := New("a").Set("x", Int(1))
+	two := New("b").Set("y", String("z"))
+	w := wire.NewWriter(64)
+	one.EncodeTo(w)
+	two.EncodeTo(w)
+	f.Add(w.Bytes())
+	f.Add(one.Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		for r.Err() == nil && r.Remaining() > 0 {
+			before := r.Remaining()
+			tup := DecodeFrom(r)
+			if r.Err() != nil {
+				break
+			}
+			if tup == nil {
+				t.Fatal("DecodeFrom returned nil without error")
+			}
+			if r.Remaining() >= before {
+				t.Fatalf("DecodeFrom consumed nothing (%d bytes remain)", before)
+			}
+		}
+		if err := r.Err(); err != nil &&
+			!errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrOversized) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}

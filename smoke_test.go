@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"pier/internal/sim"
+	"pier/internal/vri"
+)
+
+// This file gives the root bench package real tests, so `go test ./...`
+// exercises it instead of reporting "no tests to run". The full
+// benchmark bodies are kept honest by CI's smoke lane:
+//
+//	go test -run '^$' -bench . -benchtime 1x .
+//
+// which executes every Benchmark function once per sub-case.
+
+// TestSimulatorThroughputHarnessDeterministic runs a miniature of the
+// BenchmarkSimulatorEventThroughput storm at two worker counts and
+// checks the simulators did identical work — the invariant that makes
+// the benchmark's sub-cases comparable.
+func TestSimulatorThroughputHarnessDeterministic(t *testing.T) {
+	run := func(workers int) (events, msgs uint64) {
+		env := sim.NewEnv(sim.Options{Seed: 9})
+		env.SetWorkers(workers)
+		ns := env.SpawnN("n", 64)
+		for i, n := range ns {
+			i, n := i, n
+			_ = n.Listen(vri.PortQuery, func(vri.Addr, []byte) {})
+			var tick func()
+			tick = func() {
+				n.Send(ns[(i*13+7)%len(ns)].Addr(), vri.PortQuery, []byte("x"), nil)
+				n.Schedule(25*time.Millisecond, tick)
+			}
+			n.Schedule(time.Duration(i)*time.Microsecond, tick)
+		}
+		env.Run(500 * time.Millisecond)
+		events, msgs, _ = env.Stats()
+		return events, msgs
+	}
+	e1, m1 := run(1)
+	e4, m4 := run(4)
+	if e1 != e4 || m1 != m4 {
+		t.Fatalf("worker counts did different work: workers=1 (%d events, %d msgs), workers=4 (%d events, %d msgs)",
+			e1, m1, e4, m4)
+	}
+	if m1 == 0 {
+		t.Fatal("storm generated no traffic")
+	}
+}
+
+// TestBenchBaselineArtifact keeps BENCH_0001.json structurally valid and
+// tied to the benchmark it records, so the recorded baseline cannot
+// silently drift away from the code.
+func TestBenchBaselineArtifact(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_0001.json")
+	if err != nil {
+		t.Fatalf("benchmark baseline missing: %v", err)
+	}
+	var doc struct {
+		Benchmark string `json:"benchmark"`
+		Command   string `json:"command"`
+		Results   []struct {
+			Case         string  `json:"case"`
+			EventsPerSec float64 `json:"events_per_sec"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_0001.json is not valid JSON: %v", err)
+	}
+	if doc.Benchmark != "BenchmarkSimulatorEventThroughput" {
+		t.Fatalf("baseline records %q, want BenchmarkSimulatorEventThroughput", doc.Benchmark)
+	}
+	if len(doc.Results) < 4 {
+		t.Fatalf("baseline has %d result rows, want the 4 worker counts", len(doc.Results))
+	}
+	for _, r := range doc.Results {
+		if r.EventsPerSec <= 0 {
+			t.Fatalf("result %q has non-positive events/s", r.Case)
+		}
+	}
+}
