@@ -18,6 +18,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -70,6 +71,72 @@ func BenchmarkFigure2Top10FirewallSources(b *testing.B) {
 			b.Log("\n" + res.Render())
 		}
 		b.ReportMetric(float64(res.TopOverlap()), "top10-overlap")
+	}
+}
+
+// BenchmarkFigure2Sharded runs the Figure 2 pipeline — cluster build,
+// log load, two-phase aggregation — at a 1000-node scale across
+// scheduler modes: workers=0 is the sequential Main Scheduler baseline,
+// workers=8 the sharded scheduler. Results are bit-identical between
+// the two (TestFigure2ShardedMatchesSequential); this bench records the
+// wall-clock and events/s ratio, the BENCH_0002.json numbers.
+func BenchmarkFigure2Sharded(b *testing.B) {
+	for _, workers := range []int{0, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunFigure2(experiments.Figure2Config{
+					Nodes:   1000,
+					Workers: workers,
+					Seed:    42, // fixed seed: sub-benchmarks must do identical work
+				})
+				events += res.Events
+				if ov := res.TopOverlap(); ov < 8 {
+					b.Fatalf("top-10 overlap degraded to %d", ov)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(events)/secs, "events/s")
+			}
+		})
+	}
+}
+
+// BenchmarkCongestionDepartureParallel drives the queuing congestion
+// models from concurrent goroutines with distinct sources — the access
+// pattern of the sharded scheduler, where each worker calls Departure
+// for the sources it owns. The per-source state is striped, so
+// throughput should scale with -cpu instead of serializing on a global
+// mutex (compare -cpu 1 vs -cpu 8).
+func BenchmarkCongestionDepartureParallel(b *testing.B) {
+	models := map[string]func() sim.CongestionModel{
+		"fifo": func() sim.CongestionModel { return &sim.FIFOQueue{} },
+		"fair": func() sim.CongestionModel { return &sim.FairQueue{} },
+	}
+	for name, mk := range models {
+		name, mk := name, mk
+		b.Run(name, func(b *testing.B) {
+			m := mk()
+			var gid int32
+			start := time.Unix(0, 0).UTC()
+			b.RunParallel(func(pb *testing.PB) {
+				// One simulated source per goroutine: matches the sharded
+				// scheduler's source-affinity (a source's sends always come
+				// from the worker that owns it).
+				id := atomic.AddInt32(&gid, 1)
+				src := vri.Addr(fmt.Sprintf("src-%d", id))
+				dsts := [4]vri.Addr{"d0", "d1", "d2", "d3"}
+				now := start
+				i := 0
+				for pb.Next() {
+					m.Departure(now, src, dsts[i%len(dsts)], 1200)
+					i++
+					now = now.Add(time.Millisecond)
+				}
+			})
+		})
 	}
 }
 
@@ -145,7 +212,7 @@ func BenchmarkAblationSoftStateLifetime(b *testing.B) {
 // cost against equality-index dissemination (§3.3.3).
 func BenchmarkAblationQueryDissemination(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunDissemination(64, int64(7000+i))
+		res := experiments.RunDissemination(experiments.DisseminationConfig{Nodes: 64, Seed: int64(7000 + i)})
 		if i == 0 {
 			b.Log("\n" + res.Render())
 		}

@@ -5,18 +5,26 @@
 //
 //	experiments -fig 1               # Figure 1 CDFs (paper scale: 50 nodes)
 //	experiments -fig 2               # Figure 2 top-10 (paper scale: 350 nodes)
+//	experiments -fig 2 -nodes 10000 -workers 8   # Internet scale on the sharded scheduler
 //	experiments -ablation joins
 //	experiments -ablation hieragg
 //	experiments -ablation churn
 //	experiments -ablation softstate
 //	experiments -ablation dissemination
-//	experiments -ablation churnagg -workers 8   # 10k-node sharded-scheduler scale run
+//	experiments -ablation churnagg -workers 8   # 10k-node churn+aggregation scale run
 //	experiments -ablation all
+//
+// Every figure and ablation accepts -workers K: the harnesses follow
+// the sharded scheduler's collector discipline, so results are
+// bit-identical to -workers 0 at the same seed while wall-clock scales
+// with cores.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,91 +32,109 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to reproduce (1 or 2)")
-	ablation := flag.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|churnagg|all)")
-	nodes := flag.Int("nodes", 0, "override deployment size")
-	queries := flag.Int("queries", 0, "override query count (figure 1)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "simulator worker shards for -ablation churnagg (0 = sequential scheduler; results are identical for any count)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *workers > 0 && *ablation != "churnagg" {
-		// The figure and classic ablation harnesses mutate shared driver
-		// state from node callbacks, so they still require the sequential
-		// scheduler (see ROADMAP.md); refuse rather than silently run
-		// sequentially under a flag that promises sharding.
-		fmt.Fprintln(os.Stderr, "experiments: -workers currently applies only to -ablation churnagg")
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to reproduce (1 or 2)")
+	ablation := fs.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|churnagg|all)")
+	nodes := fs.Int("nodes", 0, "override deployment size")
+	queries := fs.Int("queries", 0, "override query count (figure 1)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulator worker shards (0 = sequential scheduler; results are identical for any count)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
 
 	ran := false
 	if *fig == 1 {
 		ran = true
-		fmt.Println("=== Figure 1: CDF of first-result latency (PIER vs Gnutella) ===")
+		fmt.Fprintln(stdout, "=== Figure 1: CDF of first-result latency (PIER vs Gnutella) ===")
 		res := experiments.RunFigure1(experiments.Figure1Config{
-			Nodes: *nodes, Queries: *queries, Seed: *seed,
+			Nodes: *nodes, Queries: *queries, Workers: *workers, Seed: *seed,
 		})
-		fmt.Print(res.Render())
+		fmt.Fprint(stdout, res.Render())
 		ph, pm := res.PierRare.Count()
 		gh, gm := res.GnutellaRare.Count()
 		ah, am := res.GnutellaAll.Count()
-		fmt.Printf("\nrecall: PIER(rare) %d/%d, Gnutella(all) %d/%d, Gnutella(rare) %d/%d\n",
+		fmt.Fprintf(stdout, "\nrecall: PIER(rare) %d/%d, Gnutella(all) %d/%d, Gnutella(rare) %d/%d\n",
 			ph, ph+pm, ah, ah+am, gh, gh+gm)
-		fmt.Printf("messages: PIER %d, Gnutella %d\n", res.PierMsgs, res.GnutellaMsgs)
+		fmt.Fprintf(stdout, "messages: PIER %d, Gnutella %d\n", res.PierMsgs, res.GnutellaMsgs)
 	}
 	if *fig == 2 {
 		ran = true
-		fmt.Println("=== Figure 2: top-10 sources of firewall events ===")
-		res := experiments.RunFigure2(experiments.Figure2Config{Nodes: *nodes, Seed: *seed})
-		fmt.Print(res.Render())
-		fmt.Printf("\ntop-10 overlap with ground truth: %d/10\n", res.TopOverlap())
+		fmt.Fprintln(stdout, "=== Figure 2: top-10 sources of firewall events ===")
+		res := experiments.RunFigure2(experiments.Figure2Config{
+			Nodes: *nodes, Workers: *workers, Seed: *seed,
+		})
+		fmt.Fprint(stdout, res.Render())
+		fmt.Fprintf(stdout, "\ntop-10 overlap with ground truth: %d/10\n", res.TopOverlap())
+		fmt.Fprintf(stdout, "traffic: events=%d msgs=%d workers=%d\n", res.Events, res.Msgs, *workers)
 	}
 
-	run := func(name string) {
+	ok := true
+	runAblation := func(name string) {
 		ran = true
 		switch name {
 		case "joins":
-			fmt.Println("=== Ablation §3.3.4: join strategies ===")
-			fmt.Print(experiments.RunJoinStrategies(experiments.JoinStrategiesConfig{Seed: *seed}).Render())
+			fmt.Fprintln(stdout, "=== Ablation §3.3.4: join strategies ===")
+			fmt.Fprint(stdout, experiments.RunJoinStrategies(experiments.JoinStrategiesConfig{
+				Workers: *workers, Seed: *seed,
+			}).Render())
 		case "hieragg":
-			fmt.Println("=== Ablation §3.3.4: hierarchical vs direct aggregation ===")
-			fmt.Print(experiments.RunHierAgg(experiments.HierAggConfig{Seed: *seed}).Render())
+			fmt.Fprintln(stdout, "=== Ablation §3.3.4: hierarchical vs direct aggregation ===")
+			fmt.Fprint(stdout, experiments.RunHierAgg(experiments.HierAggConfig{
+				Workers: *workers, Seed: *seed,
+			}).Render())
 		case "churn":
-			fmt.Println("=== Ablation §3.2.2: lookups under churn ===")
+			fmt.Fprintln(stdout, "=== Ablation §3.2.2: lookups under churn ===")
 			for _, session := range []time.Duration{5 * time.Minute, 2 * time.Minute, time.Minute} {
-				fmt.Print(experiments.RunChurn(experiments.ChurnConfig{
-					MeanSession: session, Seed: *seed,
+				fmt.Fprint(stdout, experiments.RunChurn(experiments.ChurnConfig{
+					MeanSession: session, Workers: *workers, Seed: *seed,
 				}).Render())
 			}
 		case "softstate":
-			fmt.Println("=== Ablation §3.2.3: soft-state lifetime trade-off ===")
-			fmt.Print(experiments.RunSoftState(experiments.SoftStateConfig{Seed: *seed}).Render())
+			fmt.Fprintln(stdout, "=== Ablation §3.2.3: soft-state lifetime trade-off ===")
+			fmt.Fprint(stdout, experiments.RunSoftState(experiments.SoftStateConfig{
+				Workers: *workers, Seed: *seed,
+			}).Render())
 		case "dissemination":
-			fmt.Println("=== Ablation §3.3.3: dissemination strategies ===")
-			fmt.Print(experiments.RunDissemination(0, *seed).Render())
+			fmt.Fprintln(stdout, "=== Ablation §3.3.3: dissemination strategies ===")
+			fmt.Fprint(stdout, experiments.RunDissemination(experiments.DisseminationConfig{
+				Workers: *workers, Seed: *seed,
+			}).Render())
 		case "churnagg":
-			fmt.Println("=== Scale: 10k-node churn + hierarchical aggregation (sharded scheduler) ===")
-			fmt.Print(experiments.RunChurnAgg(experiments.ChurnAggConfig{
+			fmt.Fprintln(stdout, "=== Scale: 10k-node churn + hierarchical aggregation (sharded scheduler) ===")
+			fmt.Fprint(stdout, experiments.RunChurnAgg(experiments.ChurnAggConfig{
 				Nodes: *nodes, Workers: *workers, Seed: *seed,
 			}).Render())
 		default:
-			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown ablation %q\n", name)
+			ok = false
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	switch *ablation {
 	case "":
 	case "all":
 		for _, name := range []string{"joins", "hieragg", "churn", "softstate", "dissemination"} {
-			run(name)
+			runAblation(name)
 		}
 	default:
-		run(*ablation)
+		runAblation(*ablation)
 	}
 
-	if !ran {
-		flag.Usage()
-		os.Exit(2)
+	if !ok {
+		return 2
 	}
+	if !ran {
+		fs.Usage()
+		return 2
+	}
+	return 0
 }

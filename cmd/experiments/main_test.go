@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnknownAblationErrors locks in the exit-2 path: an unknown
+// ablation name must error rather than silently run nothing, with or
+// without -workers.
+func TestUnknownAblationErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-ablation", "nope"},
+		{"-ablation", "nope", "-workers", "8"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), `unknown ablation "nope"`) {
+			t.Errorf("run(%v) stderr = %q, want unknown-ablation error", args, errOut.String())
+		}
+	}
+}
+
+// TestNoSelectionPrintsUsage covers the ran == false path: flags that
+// select nothing (including a bare -workers) exit 2 with usage.
+func TestNoSelectionPrintsUsage(t *testing.T) {
+	for _, args := range [][]string{{}, {"-workers", "8"}} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-ablation") {
+			t.Errorf("run(%v) printed no usage: %q", args, errOut.String())
+		}
+	}
+}
+
+// TestWorkersAppliesToFigures replaces the old refusal: -workers with a
+// figure must run it on the sharded scheduler instead of exiting 2.
+func TestWorkersAppliesToFigures(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-fig", "2", "-nodes", "12", "-workers", "2", "-seed", "7"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run(%v) = %d, want 0; stderr: %s", args, code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "top-10 overlap") {
+		t.Errorf("figure 2 output missing summary:\n%s", out.String())
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"pier/internal/tuple"
@@ -291,7 +292,14 @@ func (s *distinctState) Result() tuple.Value { return tuple.Int(int64(len(s.seen
 
 func (s *distinctState) EncodeTo(w *wire.Writer) {
 	w.U32(uint32(len(s.seen)))
+	// Sorted so the wire image is canonical: partial-aggregate messages
+	// must be byte-identical run to run for deterministic replay.
+	keys := make([]string, 0, len(s.seen))
 	for k := range s.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		w.String(k)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pier/internal/overlay"
@@ -15,7 +16,9 @@ import (
 
 // Ablation harnesses for the design choices DESIGN.md calls out. Each
 // returns a small report struct with a Render method so the bench and
-// the CLI print the same rows.
+// the CLI print the same rows. Like the figure harnesses, every ablation
+// takes a Workers knob and follows the sharded-safe collector
+// discipline, so results are identical for any worker count.
 
 // ---------------------------------------------------------------------
 // §3.3.4 — join strategies (symmetric-hash rehash vs Fetch Matches vs
@@ -29,7 +32,9 @@ type JoinStrategiesConfig struct {
 	OuterSize, InnerSize int
 	// MatchFraction is the fraction of R tuples with a join partner.
 	MatchFraction float64
-	Seed          int64
+	// Workers selects the scheduler (0 = sequential).
+	Workers int
+	Seed    int64
 }
 
 func (c *JoinStrategiesConfig) fill() {
@@ -149,6 +154,7 @@ opgraph gj disseminate broadcast {
 
 	for _, s := range strategies {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+		env.SetWorkers(cfg.Workers)
 		nodes := BuildCluster(env, cfg.Nodes, "n")
 		// Inner relation S: ids 0..InnerSize-1, published as an index
 		// for fetch-matches and stored locally for the rehash plans.
@@ -171,15 +177,15 @@ opgraph gj disseminate broadcast {
 		env.Run(20 * time.Second)
 
 		_, msgs0, bytes0 := env.Stats()
-		results := 0
 		timeout := 25 * time.Second
-		if err := nodes[0].Submit(s.plan(timeout), "ablation", func(*tuple.Tuple) { results++ }, nil); err != nil {
+		rs, err := nodes[0].SubmitCollect(s.plan(timeout), "ablation")
+		if err != nil {
 			panic(err)
 		}
 		env.Run(timeout + 10*time.Second)
 		_, msgs1, bytes1 := env.Stats()
 		res.Outcomes = append(res.Outcomes, JoinStrategyOutcome{
-			Strategy: s.name, Results: results,
+			Strategy: s.name, Results: rs.Len(),
 			Msgs: msgs1 - msgs0, Bytes: bytes1 - bytes0,
 		})
 	}
@@ -196,7 +202,9 @@ type HierAggConfig struct {
 	Nodes         int
 	TuplesPerNode int
 	Groups        int
-	Seed          int64
+	// Workers selects the scheduler (0 = sequential).
+	Workers int
+	Seed    int64
 }
 
 func (c *HierAggConfig) fill() {
@@ -240,6 +248,7 @@ func RunHierAgg(cfg HierAggConfig) HierAggResult {
 	var res HierAggResult
 	for _, strategy := range []string{"direct", "hierarchical"} {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+		env.SetWorkers(cfg.Workers)
 		nodes := BuildCluster(env, cfg.Nodes, "n")
 		truth := map[string]int64{}
 		for ni, n := range nodes {
@@ -287,18 +296,20 @@ opgraph g disseminate broadcast {
 		}
 
 		before := env.Traffic(rootAddr)
-		got := map[string]int64{}
-		if err := nodes[1].Submit(plan, "ablation", func(t *tuple.Tuple) {
-			k, _ := t.Get("k")
-			c, _ := t.Get("cnt")
-			ci, _ := c.AsInt()
-			got[k.String()] += ci
-		}, nil); err != nil {
+		rs, err := nodes[1].SubmitCollect(plan, "ablation")
+		if err != nil {
 			panic(err)
 		}
 		env.Run(35 * time.Second)
 		after := env.Traffic(rootAddr)
 
+		got := map[string]int64{}
+		for _, t := range rs.Rows() {
+			k, _ := t.Get("k")
+			c, _ := t.Get("cnt")
+			ci, _ := c.AsInt()
+			got[k.String()] += ci
+		}
 		correct := len(got) == len(truth)
 		for k, v := range truth {
 			if got[k] != v {
@@ -340,6 +351,8 @@ type ChurnConfig struct {
 	Duration time.Duration
 	// Lookups is the number of probes measured under churn.
 	Lookups int
+	// Workers selects the scheduler (0 = sequential).
+	Workers int
 	Seed    int64
 }
 
@@ -373,17 +386,38 @@ func (r ChurnResult) Render() string {
 		r.MeanSession, r.SuccessPercent, r.Consistent, r.NodesKilled, r.NodesAdded)
 }
 
+// lookupSlot collects one probe's outcome. Written only by the probing
+// node's events; read by the driver after the probe window.
+type lookupSlot struct {
+	ok    bool
+	owner vri.Addr
+}
+
 // RunChurn subjects a ring to continuous churn (exponential session
 // times; every departure replaced by a fresh join, the steady-state
 // population model of the Bamboo churn study) and then measures lookup
-// success from surviving members.
+// success from surviving members. The churn script runs as
+// environment-level events (window barriers under the sharded
+// scheduler); the live-set is driver state and is iterated in sorted
+// address order so victim selection is deterministic.
 func RunChurn(cfg ChurnConfig) ChurnResult {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+	env.SetWorkers(cfg.Workers)
 	nodes := BuildCluster(env, cfg.Nodes, "n")
 	live := map[vri.Addr]*qp.Node{}
 	for _, n := range nodes {
 		live[n.Addr()] = n
+	}
+	liveAddrs := func(except vri.Addr) []vri.Addr {
+		addrs := make([]vri.Addr, 0, len(live))
+		for a := range live {
+			if a != except {
+				addrs = append(addrs, a)
+			}
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		return addrs
 	}
 	churn := workload.NewChurn(cfg.Seed+5, cfg.MeanSession, 10*time.Second)
 	rng := env.Rand()
@@ -398,19 +432,14 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 		if !env.Now().Before(deadline) || len(live) < 3 {
 			return
 		}
-		addrs := make([]vri.Addr, 0, len(live))
-		for a := range live {
-			if a != nodes[0].Addr() { // keep the bootstrap alive
-				addrs = append(addrs, a)
-			}
-		}
+		addrs := liveAddrs(nodes[0].Addr()) // keep the bootstrap alive
 		victim := addrs[rng.Intn(len(addrs))]
 		env.Fail(victim)
 		delete(live, victim)
 		killed++
 
 		spawned++
-		fresh := qp.NewNode(env.Spawn(fmt.Sprintf("fresh-%d", spawned)), qp.Config{})
+		fresh := qp.NewNode(env.Spawn(fmt.Sprintf("fresh-%d", spawned)), clusterConfig(cfg.Nodes))
 		if err := fresh.Start(); err == nil {
 			fresh.Join(nodes[0].Addr(), nil)
 			live[fresh.Addr()] = fresh
@@ -428,27 +457,36 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 	env.Run(cfg.Duration + 30*time.Second) // churn phase + heal time
 
 	// Measurement: lookups from random live nodes must resolve and agree.
+	// Each probe writes its own slot (per-node collector); the driver
+	// tallies between runs.
 	success := 0
 	consistent := true
 	for i := 0; i < cfg.Lookups; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		owners := map[vri.Addr]bool{}
-		oks := 0
-		probes := 0
-		for a, n := range live {
-			_ = a
-			if probes >= 3 {
-				break
-			}
-			probes++
-			n.DHT().Lookup("churn", key, func(owner vri.Addr, err error) {
+		addrs := liveAddrs("")
+		probes := 3
+		if len(addrs) < probes {
+			probes = len(addrs)
+		}
+		slots := make([]lookupSlot, probes)
+		for j, pi := range rng.Perm(len(addrs))[:probes] {
+			slot := &slots[j]
+			live[addrs[pi]].DHT().Lookup("churn", key, func(owner vri.Addr, err error) {
 				if err == nil && owner != "" {
-					oks++
-					owners[owner] = true
+					slot.ok = true
+					slot.owner = owner
 				}
 			})
 		}
 		env.Run(8 * time.Second)
+		oks := 0
+		owners := map[vri.Addr]bool{}
+		for _, s := range slots {
+			if s.ok {
+				oks++
+				owners[s.owner] = true
+			}
+		}
 		if oks == probes {
 			success++
 		}
@@ -477,6 +515,8 @@ type SoftStateConfig struct {
 	Horizon time.Duration
 	// Objects published per run.
 	Objects int
+	// Workers selects the scheduler (0 = sequential).
+	Workers int
 	Seed    int64
 }
 
@@ -528,16 +568,21 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 	var res SoftStateResult
 	for _, lifetime := range cfg.Lifetimes {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+		env.SetWorkers(cfg.Workers)
 		nodes := BuildCluster(env, cfg.Nodes, "n")
 		publisher := nodes[0]
-		renews := 0
+		prober := nodes[len(nodes)-1]
 
+		// Publisher-side collector: written only by the publisher node's
+		// events (renew loop and its callbacks) plus the kill script at a
+		// barrier; drained by the driver after the horizon.
 		type tracked struct {
 			key    string
 			suffix string
 			lostAt time.Time
 			backAt time.Time
 		}
+		renews := 0
 		objs := make([]*tracked, cfg.Objects)
 		for i := range objs {
 			objs[i] = &tracked{key: fmt.Sprintf("obj-%d", i), suffix: "s"}
@@ -546,7 +591,8 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 		env.Run(5 * time.Second)
 
 		// Renew loop at half-life; failed renew → immediate re-put
-		// (recovery).
+		// (recovery). Runs entirely on the publisher node, stamping the
+		// publisher's clock (exact under both schedulers).
 		half := lifetime / 2
 		var renewAll func()
 		renewAll = func() {
@@ -557,7 +603,7 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 					if !ok {
 						publisher.DHT().Put("ss", o.key, "s", []byte("v"), lifetime, nil)
 						if !o.lostAt.IsZero() && o.backAt.IsZero() {
-							o.backAt = env.Now()
+							o.backAt = publisher.Runtime().Now()
 						}
 					}
 				})
@@ -566,8 +612,8 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 		}
 		publisher.Runtime().Schedule(half, renewAll)
 
-		// Kill one storing node (not the publisher) at 1/3 horizon.
-		var victim vri.Addr
+		// Kill one storing node (not the publisher) at 1/3 horizon: an
+		// environment-level event, so it may touch the tracking slots.
 		killAt := cfg.Horizon / 3
 		env.Schedule(killAt, func() {
 			// Choose the node owning obj-0 if it isn't the publisher.
@@ -575,7 +621,6 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 			if v == publisher.Addr() {
 				v = ownerOf(nodes, "ss", "obj-1")
 			}
-			victim = v
 			for _, o := range objs {
 				o.lostAt = env.Now()
 			}
@@ -583,9 +628,10 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 		})
 
 		// Availability sampling: every 5 s, get obj-0 from a live node.
+		// The sampling loop is driver work; the hit counter is written
+		// only by the prober node's events.
 		samples, available := 0, 0
 		var sample func()
-		prober := nodes[len(nodes)-1]
 		sample = func() {
 			samples++
 			prober.DHT().Get("ss", "obj-0", func(objsGot []overlay.Object, err error) {
@@ -598,7 +644,6 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 		env.Schedule(5*time.Second, sample)
 
 		env.Run(cfg.Horizon)
-		_ = victim
 
 		var rec time.Duration
 		o0 := objs[0]
@@ -619,6 +664,14 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 // §3.3.3 — dissemination strategies: nodes touched and messages spent.
 // ---------------------------------------------------------------------
 
+// DisseminationConfig parameterizes the dissemination comparison.
+type DisseminationConfig struct {
+	Nodes int
+	// Workers selects the scheduler (0 = sequential).
+	Workers int
+	Seed    int64
+}
+
 // DisseminationResult compares broadcast against equality dissemination.
 type DisseminationResult struct {
 	Nodes                       int
@@ -634,19 +687,22 @@ func (r DisseminationResult) Render() string {
 
 // RunDissemination submits a broadcast query and an equality query to
 // identical clusters and counts reach and cost.
-func RunDissemination(nodesN int, seed int64) DisseminationResult {
-	if nodesN <= 0 {
-		nodesN = 64
+func RunDissemination(cfg DisseminationConfig) DisseminationResult {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 64
 	}
-	res := DisseminationResult{Nodes: nodesN}
+	res := DisseminationResult{Nodes: cfg.Nodes}
 
 	run := func(queryText string) (int, uint64) {
-		env := sim.NewEnv(sim.Options{Seed: seed})
-		nodes := BuildCluster(env, nodesN, "n")
+		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+		env.SetWorkers(cfg.Workers)
+		nodes := BuildCluster(env, cfg.Nodes, "n")
 		nodes[3].Publish("t", []string{"k"},
 			tuple.New("t").Set("k", tuple.String("x")).Set("v", tuple.Int(1)), 4*time.Hour, nil)
 		env.Run(5 * time.Second)
 		_, m0, _ := env.Stats()
+		// nil callbacks: this harness measures reach and cost, not rows,
+		// and a Submit that touches no driver state is already sharded-safe.
 		if err := nodes[0].Submit(queryMustParse(queryText), "ablation", nil, nil); err != nil {
 			panic(err)
 		}

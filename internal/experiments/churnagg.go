@@ -195,9 +195,7 @@ func fnvMix(h, v uint64) uint64 {
 func RunChurnAgg(cfg ChurnAggConfig) ChurnAggResult {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
-	if cfg.Workers > 0 {
-		env.SetWorkers(cfg.Workers)
-	}
+	env.SetWorkers(cfg.Workers)
 
 	nodes := env.SpawnN("agg", cfg.Nodes)
 	root := nodes[0].Addr()

@@ -17,6 +17,15 @@
 //
 // Tables 1 and 2 are API listings; they are "reproduced" by the vri and
 // overlay interface definitions and asserted by surface tests.
+//
+// Every harness follows the sharded scheduler's discipline (see the
+// sharded-safe harness rules in ROADMAP.md): node-side callbacks write
+// only per-node collectors (qp.ResultSet, per-query hit slots), the
+// driver drains them between Env.Run calls, and all driver scheduling
+// and randomness stay in driver context. Each config therefore takes a
+// Workers knob, and results are bit-identical for any worker count —
+// sharded_determinism_test.go diffs workers=0 against workers=8 for
+// every harness.
 package experiments
 
 import (
@@ -36,18 +45,41 @@ import (
 	"pier/internal/workload"
 )
 
+// clusterConfig returns the PIER node configuration for an n-node
+// cluster. Experiments publish corpora once and query for (virtual)
+// hours, so the system max lifetime stays above any horizon. At paper
+// scale (>= 512 nodes) per-node ring maintenance is slowed: aggregate
+// maintenance traffic grows with n regardless, and the default
+// small-deployment rates would make a 10k-node simulation spend nearly
+// all of its events on finger refresh.
+func clusterConfig(n int) qp.Config {
+	cfg := qp.Config{}
+	cfg.DHT.MaxLifetime = 24 * time.Hour
+	if n >= 512 {
+		// Stabilization stays at 1s: it is the successor-absorption
+		// engine during batched joins, and slowing it further lets the
+		// join backlog outrun convergence (observed at 10k as half the
+		// ring without predecessors and lookups that disagree on key
+		// ownership). Finger refresh is the multi-hop (expensive) one.
+		cfg.DHT.Router.StabilizeInterval = time.Second
+		cfg.DHT.Router.FixFingerInterval = time.Second
+		cfg.DHT.Router.CheckPredInterval = 4 * time.Second
+		cfg.DHT.SweepInterval = 4 * time.Second
+		cfg.TreeRefresh = 15 * time.Second
+	}
+	return cfg
+}
+
 // BuildCluster spawns n PIER nodes in env, joins them in staggered
 // batches through node 0, and runs the simulation until the overlay and
-// distribution tree have had time to converge.
+// distribution tree have had time to converge. It is sharded-safe: join
+// retries are scheduled on the joining node itself, and the driver only
+// inspects node state between runs.
 func BuildCluster(env *sim.Env, n int, prefix string) []*qp.Node {
 	sims := env.SpawnN(prefix, n)
 	nodes := make([]*qp.Node, n)
+	cfg := clusterConfig(n)
 	for i, s := range sims {
-		// Experiments publish corpora once and query for (virtual)
-		// hours; keep the system max lifetime above any horizon so
-		// expiry semantics stay in the publisher's hands.
-		cfg := qp.Config{}
-		cfg.DHT.MaxLifetime = 24 * time.Hour
 		nodes[i] = qp.NewNode(s, cfg)
 		if err := nodes[i].Start(); err != nil {
 			panic(err)
@@ -68,14 +100,32 @@ func BuildCluster(env *sim.Env, n int, prefix string) []*qp.Node {
 			}
 		})
 	}
-	const batch = 8
-	for i := 1; i < n; i += batch {
-		for j := i; j < i+batch && j < n; j++ {
+	// Batch size grows with the CURRENT ring size, not the target: a
+	// young ring can only absorb joiners at the rate stabilization walks
+	// successor chains, so flooding the initial 8-node ring with n/50
+	// joiners builds chains it never catches up with (observed at 10k
+	// as a permanently half-converged ring). Geometric growth keeps the
+	// per-arc chain depth bounded while still reaching 10k nodes in
+	// ~50 rounds.
+	for joined := 1; joined < n; {
+		batch := joined / 2
+		if batch < 8 {
+			batch = 8
+		}
+		if batch > 256 {
+			batch = 256
+		}
+		for j := joined; j < joined+batch && j < n; j++ {
 			joinWithRetry(j, 0)
 		}
 		env.Run(4 * time.Second)
+		joined += batch
 	}
-	env.Run(time.Duration(n/4)*time.Second + 30*time.Second)
+	settle := n / 4
+	if settle > 180 {
+		settle = 180 // the quiesce loop below does the real convergence work
+	}
+	env.Run(time.Duration(settle)*time.Second + 30*time.Second)
 	// Quiesce: every node must know a successor other than itself and a
 	// predecessor (so ownership arcs cover the ring), and hold enough
 	// long-range routing entries that lookups complete within their
@@ -137,7 +187,10 @@ type Figure1Config struct {
 	// QueryTimeout declares a query missed if no result arrived.
 	QueryTimeout time.Duration
 	Catalog      workload.CatalogConfig
-	Seed         int64
+	// Workers selects the scheduler: 0 = sequential Main Scheduler,
+	// k >= 1 = sharded across k workers (identical results for any k).
+	Workers int
+	Seed    int64
 }
 
 func (c *Figure1Config) fill() {
@@ -191,6 +244,15 @@ func (r Figure1Result) Render() string {
 	}, []string{"PIER(rare)", "Gnutella(all)", "Gnutella(rare)"})
 }
 
+// hitSlot is the per-query collector for first-hit measurements. It is
+// written only by events on the query's origin node (which stamps its
+// own clock) and read by the driver after the query window — the
+// per-node-collector pattern that keeps the harness sharded-safe.
+type hitSlot struct {
+	got bool
+	at  time.Time
+}
+
 // RunFigure1 executes the full comparison in one simulation: the same
 // nodes run both a PIER overlay (with the file index published as a
 // distributed hash index) and a Gnutella flood network (sharing the same
@@ -198,6 +260,7 @@ func (r Figure1Result) Render() string {
 func RunFigure1(cfg Figure1Config) Figure1Result {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+	env.SetWorkers(cfg.Workers)
 	nodes := BuildCluster(env, cfg.Nodes, "n")
 	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 
@@ -241,7 +304,10 @@ func RunFigure1(cfg Figure1Config) Figure1Result {
 
 	_, msgs0, _ := env.Stats()
 
-	// Gnutella series: flood, record first hit, time out as a miss.
+	// Gnutella series: flood, record first hit, time out as a miss. The
+	// hit callback runs on the origin node and writes only the query's
+	// slot (stamping the origin's clock, exact under both schedulers);
+	// the recorders are driver-owned and written between runs.
 	runGnutella := func(rec *metrics.LatencyRecorder, rare bool) {
 		for q := 0; q < cfg.Queries; q++ {
 			var keywords []string
@@ -250,18 +316,21 @@ func RunFigure1(cfg Figure1Config) Figure1Result {
 			} else {
 				keywords, _ = mix.Next()
 			}
-			origin := peers[rng.Intn(len(peers))]
+			oi := rng.Intn(len(peers))
+			origin, originRT := peers[oi], nodes[oi].Runtime()
 			start := env.Now()
-			got := false
+			slot := &hitSlot{}
 			id := origin.Search(keywords, func(gnutella.Hit) {
-				if !got {
-					got = true
-					rec.Record(env.Now().Sub(start))
+				if !slot.got {
+					slot.got = true
+					slot.at = originRT.Now()
 				}
 			})
-			runUntil(env, cfg.QueryTimeout, func() bool { return got })
+			runUntil(env, cfg.QueryTimeout, func() bool { return slot.got })
 			origin.Cancel(id)
-			if !got {
+			if slot.got {
+				rec.Record(slot.at.Sub(start))
+			} else {
 				rec.Miss()
 			}
 		}
@@ -271,7 +340,8 @@ func RunFigure1(cfg Figure1Config) Figure1Result {
 	_, msgs1, _ := env.Stats()
 	res.GnutellaMsgs = msgs1 - msgs0
 
-	// PIER series: equality-disseminated index lookups on rare keywords.
+	// PIER series: equality-disseminated index lookups on rare keywords,
+	// collected per-query at the proxy node by a qp.ResultSet.
 	opts := sqlfront.Options{TableIndexes: map[string][]string{"fileindex": {"keyword"}}}
 	for q := 0; q < cfg.Queries; q++ {
 		keywords, _ := mix.NextRare()
@@ -284,17 +354,14 @@ func RunFigure1(cfg Figure1Config) Figure1Result {
 			panic(err)
 		}
 		start := env.Now()
-		got := false
-		if err := origin.Submit(plan, "fig1", func(*tuple.Tuple) {
-			if !got {
-				got = true
-				res.PierRare.Record(env.Now().Sub(start))
-			}
-		}, nil); err != nil {
+		rs, err := origin.SubmitCollect(plan, "fig1")
+		if err != nil {
 			panic(err)
 		}
-		runUntil(env, cfg.QueryTimeout, func() bool { return got })
-		if !got {
+		runUntil(env, cfg.QueryTimeout, func() bool { return rs.Len() > 0 })
+		if at, ok := rs.FirstAt(); ok {
+			res.PierRare.Record(at.Sub(start))
+		} else {
 			res.PierRare.Miss()
 		}
 		// Let the query's timeout state clear before reusing resources.
@@ -312,14 +379,19 @@ func RunFigure1(cfg Figure1Config) Figure1Result {
 // Figure2Config parameterizes the firewall-log aggregation.
 type Figure2Config struct {
 	// Nodes is the deployment size; the paper used 350 PlanetLab nodes.
+	// The sharded scheduler runs it at the paper's "Internet scale":
+	// experiments -fig 2 -nodes 10000 -workers 8.
 	Nodes int
 	// EventsPerNode is the firewall log size at each node.
 	EventsPerNode int
 	// Sources is the source-IP population.
 	Sources int
 	// K is the report size (10 in the figure).
-	K    int
-	Seed int64
+	K int
+	// Workers selects the scheduler: 0 = sequential Main Scheduler,
+	// k >= 1 = sharded across k workers (identical results for any k).
+	Workers int
+	Seed    int64
 }
 
 func (c *Figure2Config) fill() {
@@ -347,6 +419,9 @@ type Figure2Row struct {
 type Figure2Result struct {
 	Got   []Figure2Row
 	Truth []Figure2Row
+	// Events and Msgs are simulator-wide totals — part of the result so
+	// determinism tests can diff the whole run, not just the ranking.
+	Events, Msgs uint64
 }
 
 // Render formats the two rankings side by side.
@@ -383,6 +458,7 @@ func (r Figure2Result) TopOverlap() int {
 func RunFigure2(cfg Figure2Config) Figure2Result {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+	env.SetWorkers(cfg.Workers)
 	nodes := BuildCluster(env, cfg.Nodes, "n")
 	gen := workload.NewFirewallGen(cfg.Seed+3, cfg.Sources, 1.2)
 
@@ -405,15 +481,17 @@ func RunFigure2(cfg Figure2Config) Figure2Result {
 		panic(err)
 	}
 	var res Figure2Result
-	if err := nodes[0].Submit(plan, "fig2", func(t *tuple.Tuple) {
+	rs, err := nodes[0].SubmitCollect(plan, "fig2")
+	if err != nil {
+		panic(err)
+	}
+	env.Run(50 * time.Second)
+	for _, t := range rs.Rows() {
 		src, _ := t.Get("src")
 		cnt, _ := t.Get("cnt")
 		c, _ := cnt.AsInt()
 		res.Got = append(res.Got, Figure2Row{Src: src.String(), Count: c})
-	}, nil); err != nil {
-		panic(err)
 	}
-	env.Run(50 * time.Second)
 
 	for src, c := range truth {
 		res.Truth = append(res.Truth, Figure2Row{Src: src, Count: c})
@@ -427,12 +505,14 @@ func RunFigure2(cfg Figure2Config) Figure2Result {
 	if len(res.Truth) > cfg.K {
 		res.Truth = res.Truth[:cfg.K]
 	}
+	res.Events, res.Msgs, _ = env.Stats()
 	return res
 }
 
 // runUntil advances the simulation in steps until cond is true or max
 // virtual time has elapsed — so hits return promptly and only misses pay
-// the full timeout.
+// the full timeout. cond is evaluated in driver context (all workers
+// parked), so it may read per-node collector state.
 func runUntil(env *sim.Env, max time.Duration, cond func() bool) {
 	const step = 500 * time.Millisecond
 	deadline := env.Now().Add(max)

@@ -160,7 +160,7 @@ func TestSoftStateTradeoff(t *testing.T) {
 }
 
 func TestDisseminationReachAndCost(t *testing.T) {
-	res := RunDissemination(24, 108)
+	res := RunDissemination(DisseminationConfig{Nodes: 24, Seed: 108})
 	if res.BroadcastExec != 24 {
 		t.Errorf("broadcast reached %d of 24 nodes", res.BroadcastExec)
 	}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pier/internal/workload"
+)
+
+// These tests lock in the tentpole property of the harness port: every
+// BuildCluster-based figure and ablation harness produces bit-identical
+// results on the sequential Main Scheduler (workers=0) and the sharded
+// scheduler at eight workers, for the same seed — mirroring
+// TestShardedMatchesSequential in internal/sim and the churnagg tests.
+// reflect.DeepEqual covers unexported state too (e.g. the latency
+// recorders' full sample series), so any scheduler-dependent divergence
+// — a stray env clock read inside a node event, a map-order message
+// sequence, driver state mutated from a node callback — fails the diff.
+//
+// Configurations are scaled down so the whole file stays tractable on
+// one CPU; the paper-scale runs live in bench_test.go and the CI smoke
+// lane.
+
+func TestFigure1ShardedMatchesSequential(t *testing.T) {
+	cfg := Figure1Config{
+		Nodes:   16,
+		Queries: 8,
+		Seed:    201,
+		Catalog: workload.CatalogConfig{
+			NumFiles: 60, VocabSize: 40, ZipfS: 1.0,
+			MaxReplicas: 8, RareMax: 2, Seed: 202,
+		},
+	}
+	cfg.Workers = 0
+	seq := RunFigure1(cfg)
+	cfg.Workers = 8
+	par := RunFigure1(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Figure 1 diverged:\nseq: %+v (render:\n%s)\npar: %+v (render:\n%s)",
+			seq, seq.Render(), par, par.Render())
+	}
+	if h, m := seq.PierRare.Count(); h+m == 0 {
+		t.Fatal("degenerate run: no PIER queries recorded")
+	}
+}
+
+func TestFigure2ShardedMatchesSequential(t *testing.T) {
+	cfg := Figure2Config{Nodes: 24, EventsPerNode: 12, Sources: 60, Seed: 203}
+	cfg.Workers = 0
+	seq := RunFigure2(cfg)
+	cfg.Workers = 8
+	par := RunFigure2(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Figure 2 diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if len(seq.Got) == 0 || seq.Events == 0 {
+		t.Fatalf("degenerate run: %+v", seq)
+	}
+}
+
+func TestJoinStrategiesShardedMatchesSequential(t *testing.T) {
+	cfg := JoinStrategiesConfig{
+		Nodes: 8, OuterSize: 120, InnerSize: 12, MatchFraction: 0.1, Seed: 204,
+	}
+	cfg.Workers = 0
+	seq := RunJoinStrategies(cfg)
+	cfg.Workers = 8
+	par := RunJoinStrategies(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("join strategies diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	for _, o := range seq.Outcomes {
+		if o.Results == 0 {
+			t.Fatalf("degenerate run: %s found nothing", o.Strategy)
+		}
+	}
+}
+
+func TestHierAggShardedMatchesSequential(t *testing.T) {
+	cfg := HierAggConfig{Nodes: 16, TuplesPerNode: 6, Groups: 3, Seed: 205}
+	cfg.Workers = 0
+	seq := RunHierAgg(cfg)
+	cfg.Workers = 8
+	par := RunHierAgg(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("hieragg diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	for _, o := range seq.Outcomes {
+		if !o.Correct {
+			t.Fatalf("degenerate run: %s incorrect", o.Strategy)
+		}
+	}
+}
+
+func TestChurnShardedMatchesSequential(t *testing.T) {
+	cfg := ChurnConfig{
+		Nodes: 16, MeanSession: 60 * time.Second,
+		Duration: 60 * time.Second, Lookups: 10, Seed: 206,
+	}
+	cfg.Workers = 0
+	seq := RunChurn(cfg)
+	cfg.Workers = 8
+	par := RunChurn(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("churn diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.NodesKilled == 0 {
+		t.Fatal("degenerate run: churn killed nobody")
+	}
+}
+
+func TestSoftStateShardedMatchesSequential(t *testing.T) {
+	cfg := SoftStateConfig{
+		Nodes:     10,
+		Lifetimes: []time.Duration{15 * time.Second, 45 * time.Second},
+		Horizon:   90 * time.Second,
+		Objects:   6,
+		Seed:      207,
+	}
+	cfg.Workers = 0
+	seq := RunSoftState(cfg)
+	cfg.Workers = 8
+	par := RunSoftState(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("softstate diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	for _, o := range seq.Outcomes {
+		if o.RenewsSent == 0 {
+			t.Fatalf("degenerate run: no renews at %v", o.Lifetime)
+		}
+	}
+}
+
+func TestDisseminationShardedMatchesSequential(t *testing.T) {
+	cfg := DisseminationConfig{Nodes: 16, Seed: 208}
+	cfg.Workers = 0
+	seq := RunDissemination(cfg)
+	cfg.Workers = 8
+	par := RunDissemination(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("dissemination diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.BroadcastExec == 0 {
+		t.Fatal("degenerate run: broadcast reached nobody")
+	}
+}

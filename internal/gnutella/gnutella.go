@@ -15,6 +15,7 @@ package gnutella
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"pier/internal/vri"
@@ -145,7 +146,11 @@ func (p *Peer) SearchTTL(keywords []string, ttl int, onHit func(Hit)) string {
 // Cancel forgets an outstanding search.
 func (p *Peer) Cancel(id string) { delete(p.pending, id) }
 
-// match returns local files carrying every queried keyword.
+// match returns local files carrying every queried keyword, in name
+// order. The canonical order matters twice: the per-peer result cap must
+// select the same files every run, and hit-message payloads must be
+// byte-identical for the simulator's deterministic-replay guarantee —
+// both of which Go's randomized map iteration would break.
 func (p *Peer) match(keywords []string) []string {
 	if len(keywords) == 0 {
 		return nil
@@ -160,10 +165,11 @@ func (p *Peer) match(keywords []string) []string {
 	for f, c := range counts {
 		if c >= len(keywords) {
 			out = append(out, f)
-			if len(out) >= p.cfg.MaxResultsPerPeer {
-				break
-			}
 		}
+	}
+	sort.Strings(out)
+	if len(out) > p.cfg.MaxResultsPerPeer {
+		out = out[:p.cfg.MaxResultsPerPeer]
 	}
 	return out
 }

@@ -39,8 +39,13 @@ func (r *LatencyRecorder) Percentile(p float64) (time.Duration, bool) {
 	sorted := append([]time.Duration(nil), r.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(p / 100 * float64(total))
+	// p == 100 (or float rounding) indexes one past the population; the
+	// top of the distribution is the last sample unless misses occupy it.
+	if idx >= total {
+		idx = total - 1
+	}
 	if idx >= len(sorted) {
-		return 0, false
+		return 0, false // that rank falls in the misses (+infinity tail)
 	}
 	return sorted[idx], true
 }

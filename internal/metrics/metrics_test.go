@@ -53,6 +53,47 @@ func TestPercentileWithMisses(t *testing.T) {
 	}
 }
 
+func TestPercentileTable(t *testing.T) {
+	ms := time.Millisecond
+	record := func(hits []time.Duration, misses int) *LatencyRecorder {
+		var r LatencyRecorder
+		for _, d := range hits {
+			r.Record(d)
+		}
+		for i := 0; i < misses; i++ {
+			r.Miss()
+		}
+		return &r
+	}
+	four := []time.Duration{40 * ms, 10 * ms, 30 * ms, 20 * ms} // unsorted on purpose
+	cases := []struct {
+		name   string
+		rec    *LatencyRecorder
+		p      float64
+		want   time.Duration
+		wantOK bool
+	}{
+		{"p0 no misses", record(four, 0), 0, 10 * ms, true},
+		{"p50 no misses", record(four, 0), 50, 30 * ms, true},
+		{"p100 no misses is the max sample", record(four, 0), 100, 40 * ms, true},
+		{"p0 with misses", record(four, 2), 0, 10 * ms, true},
+		{"p50 with misses", record(four, 2), 50, 40 * ms, true},
+		{"p100 with misses falls in the misses", record(four, 2), 100, 0, false},
+		{"index exactly len(samples), misses cover it", record(four, 4), 50, 0, false},
+		{"single sample p100", record([]time.Duration{7 * ms}, 0), 100, 7 * ms, true},
+		{"single sample p0", record([]time.Duration{7 * ms}, 0), 0, 7 * ms, true},
+		{"all misses", record(nil, 3), 50, 0, false},
+		{"empty", record(nil, 0), 50, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := tc.rec.Percentile(tc.p)
+		if ok != tc.wantOK || (ok && got != tc.want) {
+			t.Errorf("%s: Percentile(%v) = (%v, %v), want (%v, %v)",
+				tc.name, tc.p, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
 func TestEmptyRecorder(t *testing.T) {
 	var r LatencyRecorder
 	if cdf := r.CDF(); cdf != nil {

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"sort"
 	"time"
 
 	"pier/internal/vri"
@@ -89,14 +90,24 @@ func (m *objectManager) put(o Object) {
 }
 
 // get returns all live objects stored under (namespace, key), one per
-// suffix.
+// suffix, in suffix order. The canonical order matters for determinism:
+// get responses feed operators whose emission order decides downstream
+// message order, and the simulator's replay guarantee (same seed, any
+// worker count → bit-identical results) cannot survive Go's randomized
+// map iteration.
 func (m *objectManager) get(ns, key string) []Object {
 	now := m.rt.Now()
-	var out []Object
-	for _, so := range m.tables[ns][key] {
+	sfx := m.tables[ns][key]
+	suffixes := make([]string, 0, len(sfx))
+	for s, so := range sfx {
 		if so.expires.After(now) {
-			out = append(out, so.obj)
+			suffixes = append(suffixes, s)
 		}
+	}
+	sort.Strings(suffixes)
+	var out []Object
+	for _, s := range suffixes {
+		out = append(out, sfx[s].obj)
 	}
 	return out
 }
@@ -114,15 +125,28 @@ func (m *objectManager) renew(ns, key, suffix string, lifetime time.Duration) bo
 }
 
 // scan invokes fn for every live object in namespace until fn returns
-// false. Iteration order is unspecified.
+// false, in (key, suffix) order. As with get, the canonical order keeps
+// table scans — and therefore every dataflow they feed — deterministic
+// across runs and scheduler modes.
 func (m *objectManager) scan(ns string, fn func(Object) bool) {
 	now := m.rt.Now()
-	for _, sfx := range m.tables[ns] {
-		for _, so := range sfx {
-			if !so.expires.After(now) {
-				continue
+	byKey := m.tables[ns]
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sfx := byKey[k]
+		suffixes := make([]string, 0, len(sfx))
+		for s, so := range sfx {
+			if so.expires.After(now) {
+				suffixes = append(suffixes, s)
 			}
-			if !fn(so.obj) {
+		}
+		sort.Strings(suffixes)
+		for _, s := range suffixes {
+			if !fn(sfx[s].obj) {
 				return
 			}
 		}

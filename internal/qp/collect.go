@@ -1,0 +1,65 @@
+package qp
+
+import (
+	"time"
+
+	"pier/internal/tuple"
+	"pier/internal/ufl"
+)
+
+// ResultSet is a per-node result collector: the sharded-safe way for a
+// simulation driver to consume a query's output.
+//
+// Under the sharded Main Scheduler a query's results are delivered by
+// events running on the proxy node's worker, so a Submit callback that
+// writes driver-owned state (a shared slice, a latency recorder) races
+// with other shards and breaks the scheduler's determinism discipline.
+// A ResultSet keeps the accumulation on the proxy node: only the proxy's
+// own events append to it, and the driver drains it at window barriers —
+// between Env.Run calls, when all workers are parked. See the sharded-
+// harness rules in ROADMAP.md; internal/experiments uses this for every
+// figure and ablation harness.
+type ResultSet struct {
+	rows    []*tuple.Tuple
+	firstAt time.Time
+	done    bool
+}
+
+// SubmitCollect runs a query with this node as the proxy, collecting
+// results into the returned ResultSet instead of invoking a callback.
+// clientID attributes the query for rate limiting, as in Submit.
+func (n *Node) SubmitCollect(q *ufl.Query, clientID string) (*ResultSet, error) {
+	rs := &ResultSet{}
+	err := n.Submit(q, clientID, func(t *tuple.Tuple) {
+		if len(rs.rows) == 0 {
+			// The proxy node's clock is exact in both scheduler modes;
+			// the environment clock would be stale inside a window.
+			rs.firstAt = n.rt.Now()
+		}
+		rs.rows = append(rs.rows, t)
+	}, func() {
+		rs.done = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Rows returns the results collected so far, in arrival order. Driver
+// context only (between runs, or at a window barrier).
+func (rs *ResultSet) Rows() []*tuple.Tuple { return rs.rows }
+
+// Len returns the number of results collected so far. Driver context
+// only.
+func (rs *ResultSet) Len() int { return len(rs.rows) }
+
+// Done reports whether the query's done-grace period elapsed at the
+// proxy. Driver context only.
+func (rs *ResultSet) Done() bool { return rs.done }
+
+// FirstAt returns the proxy-node virtual time the first result arrived,
+// and whether any result has arrived. Driver context only.
+func (rs *ResultSet) FirstAt() (time.Time, bool) {
+	return rs.firstAt, len(rs.rows) > 0
+}

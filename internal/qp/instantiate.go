@@ -29,14 +29,15 @@ type liveGraph struct {
 	flushEvery time.Duration
 }
 
-var tagCounter exec.Tag
-
 // instantiate builds the local dataflow for an opgraph (§3.3.2: "when a
 // node receives an opgraph it creates an instance of each operator in
 // the graph and establishes the dataflow links between the operators").
+// Tags scope operator state per instantiation and never leave the node,
+// so the counter is per-node: a package global would be written from
+// every shard worker under the sharded scheduler.
 func (n *Node) instantiate(rq *runningQuery, g ufl.Opgraph) (*liveGraph, error) {
-	tagCounter++
-	lg := &liveGraph{n: n, rq: rq, spec: g, ops: make(map[string]exec.Op), tag: tagCounter}
+	n.tagCounter++
+	lg := &liveGraph{n: n, rq: rq, spec: g, ops: make(map[string]exec.Op), tag: n.tagCounter}
 
 	for _, spec := range g.Ops {
 		op, err := lg.buildOp(spec)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"pier/internal/exec"
 	"pier/internal/overlay"
 	"pier/internal/tuple"
 	"pier/internal/ufl"
@@ -84,6 +85,9 @@ type Node struct {
 	proxied map[string]*proxyState
 
 	limiter *rateLimiter
+
+	// tagCounter issues node-local dataflow tags (see instantiate).
+	tagCounter exec.Tag
 
 	started bool
 	// Stats.

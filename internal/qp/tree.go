@@ -1,6 +1,7 @@
 package qp
 
 import (
+	"sort"
 	"time"
 
 	"pier/internal/overlay"
@@ -84,7 +85,10 @@ func (t *distTree) stop() {
 	}
 }
 
-// liveChildren prunes expired entries and returns current children.
+// liveChildren prunes expired entries and returns current children in
+// address order. The canonical order keeps broadcast fan-out — and with
+// it every downstream message sequence — deterministic across runs and
+// scheduler modes, which Go's randomized map iteration would break.
 func (t *distTree) liveChildren() []vri.Addr {
 	now := t.n.rt.Now()
 	out := make([]vri.Addr, 0, len(t.children))
@@ -95,6 +99,7 @@ func (t *distTree) liveChildren() []vri.Addr {
 			delete(t.children, a)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -16,7 +16,24 @@ type CongestionModel interface {
 	// Departure returns the time the last byte of a size-byte message
 	// from src to dst leaves src's access link, given that the send was
 	// issued at now. Implementations may maintain per-link backlog state.
+	//
+	// Under the sharded Main Scheduler, Departure is called concurrently
+	// from worker goroutines — but always from the worker that owns src,
+	// so per-source state has a single writer. The queuing models below
+	// stripe their per-source maps on src so workers only contend when
+	// two sources hash to the same stripe, never on one global mutex.
 	Departure(now time.Time, src, dst vri.Addr, size int) time.Time
+}
+
+// Prunable is implemented by congestion models whose per-link backlog
+// state can be garbage-collected. Prune discards state that can no
+// longer influence any future Departure call: entries whose busy horizon
+// is at or before `before`. The environment calls it from driver context
+// (workers parked) with the minimum pending event time, so a long
+// simulation with churning senders does not accumulate state for every
+// source that ever transmitted.
+type Prunable interface {
+	Prune(before time.Time)
 }
 
 // NoCongestion models infinite link capacity: messages depart instantly.
@@ -30,6 +47,18 @@ func (NoCongestion) Departure(now time.Time, _, _ vri.Addr, _ int) time.Time { r
 // uplink.
 const DefaultBandwidth = 125_000 // bytes per second
 
+// congestionStripes is the number of lock stripes the queuing models
+// shard their per-source state across. All state for one source lives in
+// one stripe (keyed by a hash of the source address), so the striping is
+// invisible to the simulation: the same source always observes the same
+// backlog regardless of how many workers run. 64 stripes keep the
+// collision probability low for worker counts in the supported range.
+const congestionStripes = 64
+
+func stripeOf(src vri.Addr) int {
+	return int(fnvHash(string(src)) % congestionStripes)
+}
+
 // FIFOQueue models a single first-in-first-out queue per source access
 // link with fixed bandwidth: each message must wait for every previously
 // queued message to finish transmitting, regardless of destination. A
@@ -39,8 +68,10 @@ type FIFOQueue struct {
 	// DefaultBandwidth.
 	BytesPerSecond int
 
-	mu   sync.Mutex
-	busy map[vri.Addr]time.Time // per-source time the link frees up
+	stripes [congestionStripes]struct {
+		mu   sync.Mutex
+		busy map[vri.Addr]time.Time // per-source time the link frees up
+	}
 }
 
 // Departure serializes the message after the link's current backlog.
@@ -49,19 +80,50 @@ func (f *FIFOQueue) Departure(now time.Time, src, _ vri.Addr, size int) time.Tim
 	if bw <= 0 {
 		bw = DefaultBandwidth
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.busy == nil {
-		f.busy = make(map[vri.Addr]time.Time)
+	st := &f.stripes[stripeOf(src)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.busy == nil {
+		st.busy = make(map[vri.Addr]time.Time)
 	}
 	start := now
-	if free, ok := f.busy[src]; ok && free.After(start) {
+	if free, ok := st.busy[src]; ok && free.After(start) {
 		start = free
 	}
 	tx := time.Duration(float64(size) / float64(bw) * float64(time.Second))
 	end := start.Add(tx)
-	f.busy[src] = end
+	st.busy[src] = end
 	return end
+}
+
+// Prune drops links whose backlog drained at or before `before`: a
+// future send on such a link starts fresh at its own issue time, so the
+// entry is semantically dead weight. Without this, the busy map keeps
+// one entry for every source that ever transmitted — unbounded growth
+// across a long simulation with node churn.
+func (f *FIFOQueue) Prune(before time.Time) {
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		st.mu.Lock()
+		for src, free := range st.busy {
+			if !free.After(before) {
+				delete(st.busy, src)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// backlogSize reports the number of tracked source links, for tests.
+func (f *FIFOQueue) backlogSize() int {
+	n := 0
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		st.mu.Lock()
+		n += len(st.busy)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // FairQueue approximates per-flow fair queuing on each source access
@@ -75,8 +137,10 @@ type FairQueue struct {
 	// DefaultBandwidth.
 	BytesPerSecond int
 
-	mu    sync.Mutex
-	flows map[vri.Addr]map[vri.Addr]time.Time // src -> dst -> flow busy-until
+	stripes [congestionStripes]struct {
+		mu    sync.Mutex
+		flows map[vri.Addr]map[vri.Addr]time.Time // src -> dst -> flow busy-until
+	}
 }
 
 // Departure charges the message to its flow at the flow's fair share.
@@ -85,17 +149,21 @@ func (f *FairQueue) Departure(now time.Time, src, dst vri.Addr, size int) time.T
 	if bw <= 0 {
 		bw = DefaultBandwidth
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.flows == nil {
-		f.flows = make(map[vri.Addr]map[vri.Addr]time.Time)
+	st := &f.stripes[stripeOf(src)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.flows == nil {
+		st.flows = make(map[vri.Addr]map[vri.Addr]time.Time)
 	}
-	byDst := f.flows[src]
+	byDst := st.flows[src]
 	if byDst == nil {
 		byDst = make(map[vri.Addr]time.Time)
-		f.flows[src] = byDst
+		st.flows[src] = byDst
 	}
 	// Count flows with backlog extending past now: they share the link.
+	// Pruning drained flows here is safe because each source's Departure
+	// calls carry monotonically non-decreasing `now` values (its events
+	// dispatch in time order on the single worker that owns it).
 	active := 1
 	for d, busy := range byDst {
 		if d == dst {
@@ -116,4 +184,39 @@ func (f *FairQueue) Departure(now time.Time, src, dst vri.Addr, size int) time.T
 	end := start.Add(tx)
 	byDst[dst] = end
 	return end
+}
+
+// Prune drops sources all of whose flows drained at or before `before`.
+// The in-call pruning above bounds flows per active source; this bounds
+// the set of sources itself when senders churn away.
+func (f *FairQueue) Prune(before time.Time) {
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		st.mu.Lock()
+		for src, byDst := range st.flows {
+			dead := true
+			for _, busy := range byDst {
+				if busy.After(before) {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				delete(st.flows, src)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// backlogSize reports the number of tracked source links, for tests.
+func (f *FairQueue) backlogSize() int {
+	n := 0
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		st.mu.Lock()
+		n += len(st.flows)
+		st.mu.Unlock()
+	}
+	return n
 }

@@ -277,16 +277,29 @@ func (e *Env) RunUntil(deadline time.Time) {
 		return
 	}
 	for len(e.queue) > 0 {
-		// Peek without popping.
+		// Peek without popping. Cancelled events and events for failed
+		// nodes are discarded here rather than left to Step: Step skips
+		// them and dispatches the next live event, so a skippable head
+		// with at <= deadline would let an event PAST the deadline run
+		// and drag the clock beyond it — a boundary overrun the sharded
+		// scheduler (correctly) never makes.
 		next := e.queue[0]
+		if next.cancelled || (next.node != nil && !next.node.alive) {
+			heap.Pop(&e.queue)
+			continue
+		}
 		if next.at.After(deadline) {
 			break
 		}
 		e.Step()
+		if e.events%pruneEvery == 0 {
+			e.pruneCongestion(e.now)
+		}
 	}
 	if e.now.Before(deadline) {
 		e.now = deadline
 	}
+	e.pruneCongestion(e.now)
 }
 
 // Drain dispatches every remaining event regardless of time. Useful in
@@ -297,6 +310,23 @@ func (e *Env) Drain() {
 		return
 	}
 	for e.Step() {
+	}
+	e.pruneCongestion(e.now)
+}
+
+// pruneEvery is how many dispatched events may pass between congestion
+// garbage-collection sweeps during a long uninterrupted run.
+const pruneEvery = 1 << 16
+
+// pruneCongestion garbage-collects drained per-link congestion state.
+// It must only be called from driver context, with `before` no later
+// than any pending or future event time. In sequential mode e.now
+// qualifies (schedules clamp to it); the sharded engine passes the
+// minimum pending event time across shards instead, since a shard's
+// clock may trail the environment clock by up to one lookahead window.
+func (e *Env) pruneCongestion(before time.Time) {
+	if p, ok := e.opts.Congestion.(Prunable); ok {
+		p.Prune(before)
 	}
 }
 

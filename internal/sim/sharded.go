@@ -259,6 +259,7 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 		}
 	}
 
+	windows := uint64(0)
 	for {
 		nmin, okN := p.peekMin()
 		var gmin time.Time
@@ -268,6 +269,18 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 		}
 		if !okN && !okG {
 			break
+		}
+		// Periodic congestion GC, from coordinator context. The sweep
+		// threshold is the minimum pending event time: every future
+		// Departure call inside this run carries a `now` at or after it,
+		// so entries that drained before it can never matter again.
+		windows++
+		if windows%512 == 0 {
+			min := nmin
+			if !okN || (okG && gmin.Before(min)) {
+				min = gmin
+			}
+			e.pruneCongestion(min)
 		}
 		// Environment-level events run first on ties: their source id 0
 		// sorts below every node id, matching the sequential order.
@@ -323,4 +336,11 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 	if !drain && e.now.Before(deadline) {
 		e.now = deadline
 	}
+	// Exit sweep at e.now, exactly like the sequential scheduler: the
+	// minimum PENDING time is strictly later here (the loop exits when
+	// the next event is past the deadline), but between runs the driver
+	// can initiate sends whose Departure carries now = e.now — backlog
+	// with a busy horizon in (e.now, minPending] is still live, and
+	// pruning it would diverge from the sequential scheduler.
+	e.pruneCongestion(e.now)
 }
