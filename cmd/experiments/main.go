@@ -18,6 +18,18 @@
 // the sharded scheduler's collector discipline, so results are
 // bit-identical to -workers 0 at the same seed while wall-clock scales
 // with cores.
+//
+// Warm starts: building a converged ring dominates wall clock at scale,
+// so save it once and restore it for every later run —
+//
+//	experiments -fig 2 -nodes 10000 -workers 8 -checkpoint-save ring10k.ckpt
+//	experiments -fig 2 -nodes 10000 -workers 8 -checkpoint-load ring10k.ckpt
+//
+// A warm-started run is deterministic (bit-identical stdout across
+// restores of the same checkpoint at a fixed seed) but is not a
+// continuation of the saving run; the build/restore phase wall clock is
+// reported on stderr. churnagg builds no DHT ring and ignores both
+// flags.
 package main
 
 import (
@@ -44,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queries := fs.Int("queries", 0, "override query count (figure 1)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulator worker shards (0 = sequential scheduler; results are identical for any count)")
+	ckptSave := fs.String("checkpoint-save", "", "after building the cluster, save the converged ring to this file")
+	ckptLoad := fs.String("checkpoint-load", "", "warm-start the cluster from this checkpoint file instead of building (pass -nodes matching the checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -51,12 +65,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Checkpoint flags are validated up front, so a typoed path fails in
+	// milliseconds with a clean message instead of panicking — in the
+	// save case after minutes of cluster building.
+	if *ckptLoad != "" {
+		ckptNodes, _, err := experiments.PeekCheckpoint(*ckptLoad)
+		if err != nil {
+			fmt.Fprintf(stderr, "checkpoint-load: %v\n", err)
+			return 2
+		}
+		if *fig != 0 {
+			if *nodes == 0 {
+				*nodes = ckptNodes // adopt the checkpoint's deployment size
+			} else if *nodes != ckptNodes {
+				fmt.Fprintf(stderr, "checkpoint-load: %s holds %d nodes but -nodes %d was given\n",
+					*ckptLoad, ckptNodes, *nodes)
+				return 2
+			}
+		}
+	}
+	if *ckptSave != "" {
+		f, err := os.Create(*ckptSave)
+		if err != nil {
+			fmt.Fprintf(stderr, "checkpoint-save: %v\n", err)
+			return 2
+		}
+		f.Close()
+	}
+
+	// Warm-start knobs shared by every BuildCluster-based harness. The
+	// build/restore wall clock goes to stderr so stdout stays bit-
+	// comparable between runs (the warm-start determinism contract).
+	var buildWall time.Duration
+	warm := experiments.WarmStart{SavePath: *ckptSave, LoadPath: *ckptLoad, BuildWall: &buildWall}
+	reportBuild := func() {
+		if buildWall > 0 {
+			phase := "build"
+			if *ckptLoad != "" {
+				phase = "restore"
+			}
+			fmt.Fprintf(stderr, "cluster %s phase wall clock: %v\n", phase, buildWall.Round(time.Millisecond))
+			buildWall = 0
+		}
+	}
+
 	ran := false
 	if *fig == 1 {
 		ran = true
 		fmt.Fprintln(stdout, "=== Figure 1: CDF of first-result latency (PIER vs Gnutella) ===")
 		res := experiments.RunFigure1(experiments.Figure1Config{
-			Nodes: *nodes, Queries: *queries, Workers: *workers, Seed: *seed,
+			Nodes: *nodes, Queries: *queries, Workers: *workers, Warm: warm, Seed: *seed,
 		})
 		fmt.Fprint(stdout, res.Render())
 		ph, pm := res.PierRare.Count()
@@ -65,16 +123,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\nrecall: PIER(rare) %d/%d, Gnutella(all) %d/%d, Gnutella(rare) %d/%d\n",
 			ph, ph+pm, ah, ah+am, gh, gh+gm)
 		fmt.Fprintf(stdout, "messages: PIER %d, Gnutella %d\n", res.PierMsgs, res.GnutellaMsgs)
+		reportBuild()
 	}
 	if *fig == 2 {
 		ran = true
 		fmt.Fprintln(stdout, "=== Figure 2: top-10 sources of firewall events ===")
 		res := experiments.RunFigure2(experiments.Figure2Config{
-			Nodes: *nodes, Workers: *workers, Seed: *seed,
+			Nodes: *nodes, Workers: *workers, Warm: warm, Seed: *seed,
 		})
 		fmt.Fprint(stdout, res.Render())
 		fmt.Fprintf(stdout, "\ntop-10 overlap with ground truth: %d/10\n", res.TopOverlap())
 		fmt.Fprintf(stdout, "traffic: events=%d msgs=%d workers=%d\n", res.Events, res.Msgs, *workers)
+		reportBuild()
 	}
 
 	ok := true
@@ -84,31 +144,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case "joins":
 			fmt.Fprintln(stdout, "=== Ablation §3.3.4: join strategies ===")
 			fmt.Fprint(stdout, experiments.RunJoinStrategies(experiments.JoinStrategiesConfig{
-				Workers: *workers, Seed: *seed,
+				Workers: *workers, Warm: warm, Seed: *seed,
 			}).Render())
 		case "hieragg":
 			fmt.Fprintln(stdout, "=== Ablation §3.3.4: hierarchical vs direct aggregation ===")
 			fmt.Fprint(stdout, experiments.RunHierAgg(experiments.HierAggConfig{
-				Workers: *workers, Seed: *seed,
+				Workers: *workers, Warm: warm, Seed: *seed,
 			}).Render())
 		case "churn":
 			fmt.Fprintln(stdout, "=== Ablation §3.2.2: lookups under churn ===")
 			for _, session := range []time.Duration{5 * time.Minute, 2 * time.Minute, time.Minute} {
 				fmt.Fprint(stdout, experiments.RunChurn(experiments.ChurnConfig{
-					MeanSession: session, Workers: *workers, Seed: *seed,
+					MeanSession: session, Workers: *workers, Warm: warm, Seed: *seed,
 				}).Render())
 			}
 		case "softstate":
 			fmt.Fprintln(stdout, "=== Ablation §3.2.3: soft-state lifetime trade-off ===")
 			fmt.Fprint(stdout, experiments.RunSoftState(experiments.SoftStateConfig{
-				Workers: *workers, Seed: *seed,
+				Workers: *workers, Warm: warm, Seed: *seed,
 			}).Render())
 		case "dissemination":
 			fmt.Fprintln(stdout, "=== Ablation §3.3.3: dissemination strategies ===")
 			fmt.Fprint(stdout, experiments.RunDissemination(experiments.DisseminationConfig{
-				Workers: *workers, Seed: *seed,
+				Workers: *workers, Warm: warm, Seed: *seed,
 			}).Render())
 		case "churnagg":
+			if *ckptSave != "" || *ckptLoad != "" {
+				fmt.Fprintln(stderr, "note: churnagg builds no DHT ring; checkpoint flags ignored")
+			}
 			fmt.Fprintln(stdout, "=== Scale: 10k-node churn + hierarchical aggregation (sharded scheduler) ===")
 			fmt.Fprint(stdout, experiments.RunChurnAgg(experiments.ChurnAggConfig{
 				Nodes: *nodes, Workers: *workers, Seed: *seed,
@@ -117,6 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "unknown ablation %q\n", name)
 			ok = false
 		}
+		reportBuild()
 		fmt.Fprintln(stdout)
 	}
 	switch *ablation {

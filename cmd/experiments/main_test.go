@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -35,6 +38,86 @@ func TestNoSelectionPrintsUsage(t *testing.T) {
 		if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-ablation") {
 			t.Errorf("run(%v) printed no usage: %q", args, errOut.String())
 		}
+	}
+}
+
+// TestCheckpointSaveLoadRoundTrip drives the warm-start CLI workflow
+// end to end: a cold run saves the converged ring, then two warm runs
+// restore it — and their stdout must be byte-identical (the restored-
+// ring determinism contract; wall-clock reporting goes to stderr
+// precisely so stdout stays comparable).
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ring.ckpt")
+	var cold, coldErr bytes.Buffer
+	args := []string{"-fig", "2", "-nodes", "12", "-seed", "7", "-checkpoint-save", ckpt}
+	if code := run(args, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold run = %d; stderr: %s", code, coldErr.String())
+	}
+	if !strings.Contains(coldErr.String(), "build phase wall clock") {
+		t.Errorf("cold run stderr missing build-phase report: %q", coldErr.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	warm := func(workers string) string {
+		var out, errOut bytes.Buffer
+		args := []string{"-fig", "2", "-nodes", "12", "-seed", "7", "-workers", workers, "-checkpoint-load", ckpt}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("warm run (workers=%s) = %d; stderr: %s", workers, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "restore phase wall clock") {
+			t.Errorf("warm run stderr missing restore-phase report: %q", errOut.String())
+		}
+		return out.String()
+	}
+	a, b := warm("0"), warm("0")
+	if a != b {
+		t.Errorf("warm-run stdout not bit-identical across restores:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	// Across worker counts only the printed workers= label may differ.
+	c := warm("2")
+	strip := func(s string) string { return regexp.MustCompile(`workers=\d+`).ReplaceAllString(s, "workers=K") }
+	if strip(a) != strip(c) {
+		t.Errorf("warm-run results diverge across worker counts:\n--- w0 ---\n%s\n--- w2 ---\n%s", a, c)
+	}
+}
+
+// TestCheckpointFlagValidation: checkpoint-path mistakes must fail fast
+// with exit 2 and a message — never a panic, and never after minutes of
+// cluster building.
+func TestCheckpointFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ring.ckpt")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fig", "2", "-nodes", "12", "-seed", "7", "-checkpoint-save", ckpt}, &out, &errOut); code != 0 {
+		t.Fatalf("save run = %d; stderr: %s", code, errOut.String())
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing file", []string{"-fig", "2", "-checkpoint-load", filepath.Join(dir, "nope.ckpt")}, "checkpoint-load"},
+		{"node mismatch", []string{"-fig", "2", "-nodes", "99", "-checkpoint-load", ckpt}, "12 nodes"},
+		{"unwritable save", []string{"-fig", "2", "-nodes", "12", "-checkpoint-save", filepath.Join(dir, "no", "such", "dir.ckpt")}, "checkpoint-save"},
+	}
+	for _, tc := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(tc.args, &out, &errOut); code != 2 {
+			t.Errorf("%s: run(%v) = %d, want 2", tc.name, tc.args, code)
+		}
+		if !strings.Contains(errOut.String(), tc.want) {
+			t.Errorf("%s: stderr = %q, want mention of %q", tc.name, errOut.String(), tc.want)
+		}
+	}
+
+	// Omitting -nodes with -checkpoint-load adopts the checkpoint's
+	// deployment size instead of the figure's paper-scale default.
+	var wout, werr bytes.Buffer
+	if code := run([]string{"-fig", "2", "-seed", "7", "-checkpoint-load", ckpt}, &wout, &werr); code != 0 {
+		t.Fatalf("adopting warm run = %d; stderr: %s", code, werr.String())
 	}
 }
 

@@ -34,7 +34,9 @@ type JoinStrategiesConfig struct {
 	MatchFraction float64
 	// Workers selects the scheduler (0 = sequential).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 func (c *JoinStrategiesConfig) fill() {
@@ -155,7 +157,7 @@ opgraph gj disseminate broadcast {
 	for _, s := range strategies {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 		env.SetWorkers(cfg.Workers)
-		nodes := BuildCluster(env, cfg.Nodes, "n")
+		nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 		// Inner relation S: ids 0..InnerSize-1, published as an index
 		// for fetch-matches and stored locally for the rehash plans.
 		for i := 0; i < cfg.InnerSize; i++ {
@@ -204,7 +206,9 @@ type HierAggConfig struct {
 	Groups        int
 	// Workers selects the scheduler (0 = sequential).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 func (c *HierAggConfig) fill() {
@@ -249,7 +253,7 @@ func RunHierAgg(cfg HierAggConfig) HierAggResult {
 	for _, strategy := range []string{"direct", "hierarchical"} {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 		env.SetWorkers(cfg.Workers)
-		nodes := BuildCluster(env, cfg.Nodes, "n")
+		nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 		truth := map[string]int64{}
 		for ni, n := range nodes {
 			for tI := 0; tI < cfg.TuplesPerNode; tI++ {
@@ -353,7 +357,9 @@ type ChurnConfig struct {
 	Lookups int
 	// Workers selects the scheduler (0 = sequential).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 func (c *ChurnConfig) fill() {
@@ -404,7 +410,7 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 	env.SetWorkers(cfg.Workers)
-	nodes := BuildCluster(env, cfg.Nodes, "n")
+	nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 	live := map[vri.Addr]*qp.Node{}
 	for _, n := range nodes {
 		live[n.Addr()] = n
@@ -517,7 +523,9 @@ type SoftStateConfig struct {
 	Objects int
 	// Workers selects the scheduler (0 = sequential).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 func (c *SoftStateConfig) fill() {
@@ -569,7 +577,7 @@ func RunSoftState(cfg SoftStateConfig) SoftStateResult {
 	for _, lifetime := range cfg.Lifetimes {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 		env.SetWorkers(cfg.Workers)
-		nodes := BuildCluster(env, cfg.Nodes, "n")
+		nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 		publisher := nodes[0]
 		prober := nodes[len(nodes)-1]
 
@@ -669,7 +677,9 @@ type DisseminationConfig struct {
 	Nodes int
 	// Workers selects the scheduler (0 = sequential).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 // DisseminationResult compares broadcast against equality dissemination.
@@ -696,7 +706,7 @@ func RunDissemination(cfg DisseminationConfig) DisseminationResult {
 	run := func(queryText string) (int, uint64) {
 		env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 		env.SetWorkers(cfg.Workers)
-		nodes := BuildCluster(env, cfg.Nodes, "n")
+		nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 		nodes[3].Publish("t", []string{"k"},
 			tuple.New("t").Set("k", tuple.String("x")).Set("v", tuple.Int(1)), 4*time.Hour, nil)
 		env.Run(5 * time.Second)

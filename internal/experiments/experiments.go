@@ -190,7 +190,9 @@ type Figure1Config struct {
 	// Workers selects the scheduler: 0 = sequential Main Scheduler,
 	// k >= 1 = sharded across k workers (identical results for any k).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 func (c *Figure1Config) fill() {
@@ -261,7 +263,7 @@ func RunFigure1(cfg Figure1Config) Figure1Result {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 	env.SetWorkers(cfg.Workers)
-	nodes := BuildCluster(env, cfg.Nodes, "n")
+	nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 
 	// Gnutella peers co-located on the same simulated hosts.
@@ -391,7 +393,9 @@ type Figure2Config struct {
 	// Workers selects the scheduler: 0 = sequential Main Scheduler,
 	// k >= 1 = sharded across k workers (identical results for any k).
 	Workers int
-	Seed    int64
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
 }
 
 func (c *Figure2Config) fill() {
@@ -459,7 +463,7 @@ func RunFigure2(cfg Figure2Config) Figure2Result {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 	env.SetWorkers(cfg.Workers)
-	nodes := BuildCluster(env, cfg.Nodes, "n")
+	nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
 	gen := workload.NewFirewallGen(cfg.Seed+3, cfg.Sources, 1.2)
 
 	truth := map[string]int64{}
@@ -512,12 +516,20 @@ func RunFigure2(cfg Figure2Config) Figure2Result {
 // runUntil advances the simulation in steps until cond is true or max
 // virtual time has elapsed — so hits return promptly and only misses pay
 // the full timeout. cond is evaluated in driver context (all workers
-// parked), so it may read per-node collector state.
+// parked), so it may read per-node collector state. The final step is
+// clamped to the remaining time: a max that is not a multiple of the
+// step must still mean what it says, mirroring the scheduler-level
+// RunUntil deadline fix (a harness timeout overrun skews miss latencies
+// and every measurement window downstream).
 func runUntil(env *sim.Env, max time.Duration, cond func() bool) {
 	const step = 500 * time.Millisecond
 	deadline := env.Now().Add(max)
 	for env.Now().Before(deadline) && !cond() {
-		env.Run(step)
+		d := step
+		if remaining := deadline.Sub(env.Now()); remaining < d {
+			d = remaining
+		}
+		env.Run(d)
 	}
 }
 

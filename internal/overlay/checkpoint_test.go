@@ -1,0 +1,140 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"pier/internal/sim"
+	"pier/internal/vri"
+	"pier/internal/wire"
+)
+
+// checkpointDHT serializes d and returns the blob.
+func checkpointDHT(t *testing.T, d *DHT) []byte {
+	t.Helper()
+	w := wire.NewWriter(1024)
+	if err := d.Checkpoint(w); err != nil {
+		t.Fatal(err)
+	}
+	return w.Bytes()
+}
+
+// restoreDHT spawns a node named addr in a fresh env whose clock is
+// rebased to at, starts a DHT on it, and installs the blob.
+func restoreDHT(t *testing.T, addr vri.Addr, at time.Time, blob []byte) (*sim.Env, *DHT) {
+	t.Helper()
+	env := sim.NewEnv(sim.Options{Seed: 9})
+	env.SetNow(at)
+	d := New(env.Spawn(string(addr)), Config{})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Restore(wire.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	return env, d
+}
+
+// TestCheckpointExpiryExactlyAtInstant: an object whose expiry equals
+// the checkpoint instant is dead (get/scan use strict After) and must
+// NOT resurrect after restore, while a still-live object must survive
+// with its exact remaining lifetime.
+func TestCheckpointExpiryExactlyAtInstant(t *testing.T) {
+	env := sim.NewEnv(sim.Options{Seed: 8})
+	d := New(env.Spawn("a"), Config{})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d.PutLocal("ns", "k", "boundary", []byte("x"), 10*time.Second)
+	d.PutLocal("ns", "k", "living", []byte("y"), 30*time.Second)
+	env.Run(10 * time.Second) // exactly the boundary object's expiry instant
+
+	if got := d.LocalCount("ns"); got != 1 {
+		t.Fatalf("pre-checkpoint live count = %d, want 1 (boundary object is already dead)", got)
+	}
+	blob := checkpointDHT(t, d)
+
+	env2, d2 := restoreDHT(t, "a", env.Now(), blob)
+	var suffixes []string
+	d2.LocalScan("ns", func(o Object) bool {
+		suffixes = append(suffixes, o.Suffix)
+		return true
+	})
+	if len(suffixes) != 1 || suffixes[0] != "living" {
+		t.Fatalf("restored suffixes = %v, want [living] — boundary object resurrected", suffixes)
+	}
+
+	// The survivor's expiry must be anchored at the rebased clock: alive
+	// through +19s (expires at +20s), gone at +21s.
+	env2.Run(19 * time.Second)
+	if got := d2.LocalCount("ns"); got != 1 {
+		t.Fatalf("restored object expired early: count = %d at +19s", got)
+	}
+	env2.Run(2 * time.Second)
+	if got := d2.LocalCount("ns"); got != 0 {
+		t.Fatalf("restored object outlived its remaining lifetime: count = %d at +21s", got)
+	}
+}
+
+// TestRenewAfterRestoreExtendsFromRebasedClock: renewing a restored
+// object must extend from the restored environment's (rebased) Now, not
+// from any stale absolute expiry carried across the checkpoint.
+func TestRenewAfterRestoreExtendsFromRebasedClock(t *testing.T) {
+	env := sim.NewEnv(sim.Options{Seed: 8})
+	d := New(env.Spawn("a"), Config{})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d.PutLocal("ns", "k", "s", []byte("x"), 30*time.Second)
+	env.Run(10 * time.Second) // 20s of life remaining
+	blob := checkpointDHT(t, d)
+
+	env2, d2 := restoreDHT(t, "a", env.Now(), blob)
+	// Renew immediately after restore for 30s: the new expiry must be
+	// rebased-now+30s, i.e. the object lives past its original +20s
+	// remainder and dies at +30s.
+	if !d2.store.renew("ns", "k", "s", 30*time.Second) {
+		t.Fatal("renew of a restored object failed")
+	}
+	env2.Run(29 * time.Second)
+	if got := d2.LocalCount("ns"); got != 1 {
+		t.Fatalf("renewed object expired early: count = %d at +29s", got)
+	}
+	env2.Run(2 * time.Second)
+	if got := d2.LocalCount("ns"); got != 0 {
+		t.Fatalf("renewed object outlived the renewal: count = %d at +31s", got)
+	}
+}
+
+// TestRouterSnapshotRoundTrip: ring pointers survive a checkpoint into
+// a fresh node byte-for-byte — predecessor, successor order, finger
+// slots, and the finger-refresh cursor.
+func TestRouterSnapshotRoundTrip(t *testing.T) {
+	env := sim.NewEnv(sim.Options{Seed: 11})
+	dhts := ring(t, env, 8)
+	src := dhts[3]
+	blob := checkpointDHT(t, src)
+
+	_, d2 := restoreDHT(t, src.Addr(), env.Now(), blob)
+	if got, want := d2.Predecessor(), src.Predecessor(); got != want {
+		t.Errorf("restored predecessor = %s, want %s", got, want)
+	}
+	if got, want := d2.Successor(), src.Successor(); got != want {
+		t.Errorf("restored successor = %s, want %s", got, want)
+	}
+	if got, want := d2.router.succs, src.router.succs; len(got) != len(want) {
+		t.Errorf("restored successor list %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("succs[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if d2.router.fingers != src.router.fingers {
+		t.Errorf("restored fingers diverge:\ngot  %v\nwant %v", d2.router.fingers, src.router.fingers)
+	}
+	if got, want := d2.router.nextFix, src.router.nextFix; got != want {
+		t.Errorf("restored nextFix = %d, want %d", got, want)
+	}
+}

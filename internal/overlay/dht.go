@@ -125,6 +125,41 @@ func (d *DHT) RouterStats() (routed, hops uint64) { return d.router.stats() }
 // harnesses.
 func (d *DHT) FingerCount() int { return len(d.router.fingerSample(64)) }
 
+// Checkpoint serializes this node's overlay state — ring position
+// (predecessor, successor list, fingers) and the soft-state object store
+// with expiries rebased to remaining durations — into w. It must run at
+// a quiescent driver barrier: state is read directly, so no event of
+// this node may be executing. In-flight messages and pending
+// request/response exchanges are NOT captured; they are lost at a
+// checkpoint exactly as they would be at a network partition, and soft
+// state recovers them after restore.
+func (d *DHT) Checkpoint(w *wire.Writer) error {
+	if !d.started {
+		return fmt.Errorf("overlay: checkpoint requires a started node")
+	}
+	d.router.snapshot(w)
+	d.store.snapshot(w, d.rt.Now())
+	return nil
+}
+
+// Restore installs a checkpoint taken by Checkpoint on another (or a
+// prior) incarnation of this node. The DHT must be freshly started and
+// the runtime clock already rebased (sim.Env.SetNow): stored expiries
+// re-anchor at Now, and the already-armed maintenance timers stabilize
+// from the restored ring pointers instead of bootstrapping a singleton.
+func (d *DHT) Restore(r *wire.Reader) error {
+	if !d.started {
+		return fmt.Errorf("overlay: restore requires a started node")
+	}
+	if err := d.router.restore(r); err != nil {
+		return fmt.Errorf("overlay: restore router: %w", err)
+	}
+	if err := d.store.restore(r, d.rt.Now()); err != nil {
+		return fmt.Errorf("overlay: restore store: %w", err)
+	}
+	return nil
+}
+
 // Lookup resolves the owner of the identifier for (namespace, key).
 func (d *DHT) Lookup(namespace, key string, done func(owner vri.Addr, err error)) {
 	d.router.lookup(HashName(namespace, key), func(n nodeRef, err error) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pier/internal/vri"
+	"pier/internal/wire"
 )
 
 // objectManager is the soft-state store of Figure 5 (§3.2.3). Each item
@@ -158,6 +159,80 @@ func (m *objectManager) count(ns string) int {
 	n := 0
 	m.scan(ns, func(Object) bool { n++; return true })
 	return n
+}
+
+// snapshot serializes every live object with its remaining lifetime
+// relative to now. Rebasing expiries to durations is what lets a restore
+// into a different virtual-clock origin re-anchor them exactly; an
+// object whose expiry equals the checkpoint instant is already dead
+// (get/scan use strict expires.After) and is excluded, so it cannot
+// resurrect after restore. Objects are written in (namespace, key,
+// suffix) order so checkpoint bytes are deterministic.
+func (m *objectManager) snapshot(w *wire.Writer, now time.Time) {
+	countPos := w.Len()
+	w.U32(0) // patched below
+	count := uint32(0)
+	nss := make([]string, 0, len(m.tables))
+	for ns := range m.tables {
+		nss = append(nss, ns)
+	}
+	sort.Strings(nss)
+	for _, ns := range nss {
+		byKey := m.tables[ns]
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sfx := byKey[k]
+			suffixes := make([]string, 0, len(sfx))
+			for s, so := range sfx {
+				if so.expires.After(now) {
+					suffixes = append(suffixes, s)
+				}
+			}
+			sort.Strings(suffixes)
+			for _, s := range suffixes {
+				so := sfx[s]
+				appendObject(w, so.obj)
+				w.Duration(so.expires.Sub(now))
+				count++
+			}
+		}
+	}
+	w.PatchU32(countPos, count)
+}
+
+// restore installs a snapshot, re-anchoring each remaining lifetime at
+// now. Lifetimes are installed exactly — not re-clamped — because the
+// original put already applied MaxLifetime and the remainder can only be
+// shorter. Entries whose remaining duration is non-positive are skipped:
+// they expired at (or before) the checkpoint instant.
+func (m *objectManager) restore(r *wire.Reader, now time.Time) error {
+	n := r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		o := readObject(r)
+		remaining := r.Duration()
+		if r.Err() != nil {
+			break
+		}
+		if remaining <= 0 {
+			continue
+		}
+		keys := m.tables[o.Namespace]
+		if keys == nil {
+			keys = make(map[string]map[string]*storedObject)
+			m.tables[o.Namespace] = keys
+		}
+		sfx := keys[o.Key]
+		if sfx == nil {
+			sfx = make(map[string]*storedObject)
+			keys[o.Key] = sfx
+		}
+		sfx[o.Suffix] = &storedObject{obj: o, expires: now.Add(remaining)}
+	}
+	return r.Err()
 }
 
 // sweep discards expired objects and empty index levels.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pier/internal/vri"
+	"pier/internal/wire"
 )
 
 // nodeRef names a peer: its address and derived identifier. The zero
@@ -542,6 +543,71 @@ func (r *router) trimSuccs() {
 	if len(r.succs) == 0 {
 		r.succs = []nodeRef{r.self}
 	}
+}
+
+// snapshot serializes the ring position — predecessor, successor list,
+// finger table, and the finger-refresh cursor — for a checkpoint.
+// Addresses alone are written: identifiers are derived by hashing, so
+// restore recomputes them. Pending requests and their timers are
+// deliberately excluded; like in-flight messages, they are dropped at a
+// checkpoint and soft state re-issues them.
+func (r *router) snapshot(w *wire.Writer) {
+	w.String(string(r.pred.addr))
+	w.U16(uint16(len(r.succs)))
+	for _, s := range r.succs {
+		w.String(string(s.addr))
+	}
+	valid := 0
+	for _, f := range r.fingers {
+		if f.valid() {
+			valid++
+		}
+	}
+	w.U8(uint8(valid))
+	for i, f := range r.fingers {
+		if f.valid() {
+			w.U8(uint8(i))
+			w.String(string(f.addr))
+		}
+	}
+	w.U8(uint8(r.nextFix))
+}
+
+// restore installs a snapshot taken by snapshot. The router must be
+// freshly started: maintenance timers keep running and will stabilize
+// from the restored pointers instead of from a singleton ring.
+func (r *router) restore(rd *wire.Reader) error {
+	pred := vri.Addr(rd.String())
+	ns := rd.U16()
+	succs := make([]nodeRef, 0, ns)
+	for i := 0; i < int(ns) && rd.Err() == nil; i++ {
+		if a := vri.Addr(rd.String()); a != "" {
+			succs = append(succs, ref(a))
+		}
+	}
+	nf := rd.U8()
+	var fingers [64]nodeRef
+	for i := 0; i < int(nf) && rd.Err() == nil; i++ {
+		slot := rd.U8()
+		a := vri.Addr(rd.String())
+		if int(slot) < len(fingers) && a != "" {
+			fingers[slot] = ref(a)
+		}
+	}
+	next := rd.U8()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if pred != "" && pred != r.self.addr {
+		r.pred = ref(pred)
+	}
+	if len(succs) > 0 {
+		r.succs = succs
+		r.trimSuccs()
+	}
+	r.fingers = fingers
+	r.nextFix = int(next) % len(r.fingers)
+	return nil
 }
 
 func (r *router) sendTo(dst vri.Addr, payload []byte, ack vri.AckFunc) {

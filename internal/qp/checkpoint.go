@@ -1,0 +1,57 @@
+package qp
+
+import (
+	"fmt"
+
+	"pier/internal/wire"
+)
+
+// Checkpoint/restore of a PIER node's warm state (overlay ring position,
+// soft-state store, distribution-tree children), the per-node half of
+// the warm-start subsystem: building a converged ring dominates
+// paper-scale simulation wall clock (ROADMAP: checkpoint/restore of a
+// converged ring), so a cluster is saved once after BuildCluster and
+// restored many times. The cluster-level container format — versioned
+// header, node roster, per-node blobs — lives in internal/experiments;
+// this file defines what one node contributes to it.
+
+// Checkpoint serializes this node's warm state into w. It requires a
+// quiescent node: started, with no queries running or proxied — query
+// execution state (dataflows, pending results, deadlines) is
+// deliberately not checkpointable, matching the paper's soft-state
+// philosophy that queries are re-submitted, not migrated. It must be
+// called from driver context at a barrier (sim.Env.AtBarrier), never
+// from an event handler.
+func (n *Node) Checkpoint(w *wire.Writer) error {
+	if !n.started {
+		return fmt.Errorf("qp: checkpoint requires a started node")
+	}
+	if len(n.running) != 0 || len(n.proxied) != 0 {
+		return fmt.Errorf("qp: checkpoint requires a quiescent node: %d running, %d proxied queries on %s",
+			len(n.running), len(n.proxied), n.rt.Addr())
+	}
+	if err := n.dht.Checkpoint(w); err != nil {
+		return err
+	}
+	n.tree.snapshot(w, n.rt.Now())
+	return nil
+}
+
+// Restore installs a checkpoint taken by Checkpoint. The node must be
+// freshly created and Started in an environment whose clock was rebased
+// to the checkpoint instant (sim.Env.SetNow) before the node was
+// spawned: expiries and TTLs were saved as remaining durations and
+// re-anchor at the runtime's current Now. Maintenance timers armed by
+// Start keep running and immediately operate on the restored state.
+func (n *Node) Restore(r *wire.Reader) error {
+	if !n.started {
+		return fmt.Errorf("qp: restore requires a started node")
+	}
+	if err := n.dht.Restore(r); err != nil {
+		return err
+	}
+	if err := n.tree.restore(r, n.rt.Now()); err != nil {
+		return fmt.Errorf("qp: restore tree: %w", err)
+	}
+	return nil
+}

@@ -19,8 +19,13 @@ type rateLimiter struct {
 	rt    vri.Runtime
 	limit int // admissions per minute; 0 = unlimited
 	// windows maps client id → admission timestamps within the last
-	// minute.
+	// minute. Clients whose whole window aged out are evicted by prune;
+	// without that, a proxy fronting many distinct client ids holds a
+	// map entry per id ever seen, forever — the same unbounded-map shape
+	// as the FIFOQueue busy-link leak, fixed the same way.
 	windows map[string][]time.Time
+	// lastPrune is the virtual time of the last eviction sweep.
+	lastPrune time.Time
 }
 
 func newRateLimiter(rt vri.Runtime, perMinute int) *rateLimiter {
@@ -34,6 +39,7 @@ func (r *rateLimiter) admit(client string) bool {
 	}
 	now := r.rt.Now()
 	cutoff := now.Add(-time.Minute)
+	r.prune(now, cutoff)
 	w := r.windows[client]
 	kept := w[:0]
 	for _, ts := range w {
@@ -47,4 +53,28 @@ func (r *rateLimiter) admit(client string) bool {
 	}
 	r.windows[client] = append(kept, now)
 	return true
+}
+
+// prune evicts every client whose admissions all aged past the cutoff.
+// The sweep is amortized to once per window length, so admit stays O(1)
+// per call while the map is bounded by the clients active in the last
+// two windows. Deletion during range is safe and order-independent, so
+// the surviving map is deterministic regardless of iteration order.
+func (r *rateLimiter) prune(now, cutoff time.Time) {
+	if now.Sub(r.lastPrune) < time.Minute {
+		return
+	}
+	r.lastPrune = now
+	for client, w := range r.windows {
+		live := false
+		for _, ts := range w {
+			if ts.After(cutoff) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(r.windows, client)
+		}
+	}
 }

@@ -1,0 +1,68 @@
+package qp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/sim"
+)
+
+// TestRateLimiterEvictsIdleClients is the regression test for the
+// unbounded-windows leak: a proxy fronting many distinct client ids
+// held a map entry per id ever seen, forever. After a full window with
+// no activity from a client, its entry must be gone.
+func TestRateLimiterEvictsIdleClients(t *testing.T) {
+	env := sim.NewEnv(sim.Options{Seed: 1})
+	rt := env.Spawn("proxy")
+	rl := newRateLimiter(rt, 3)
+
+	const clients = 500
+	for i := 0; i < clients; i++ {
+		if !rl.admit(fmt.Sprintf("client-%d", i)) {
+			t.Fatalf("client-%d first admission rejected", i)
+		}
+	}
+	if len(rl.windows) != clients {
+		t.Fatalf("expected %d tracked clients, got %d", clients, len(rl.windows))
+	}
+
+	// All of them go idle for more than a window; the next admission's
+	// amortized sweep must evict every stale entry.
+	env.Run(2 * time.Minute)
+	if !rl.admit("fresh") {
+		t.Fatal("fresh client rejected")
+	}
+	if len(rl.windows) != 1 {
+		t.Fatalf("idle clients not evicted: %d entries remain (want 1)", len(rl.windows))
+	}
+	if _, ok := rl.windows["fresh"]; !ok {
+		t.Fatal("fresh client's window missing after sweep")
+	}
+}
+
+// TestRateLimiterEvictionKeepsActiveWindows: the sweep must not disturb
+// a client with admissions still inside the window — its count keeps
+// enforcing the limit.
+func TestRateLimiterEvictionKeepsActiveWindows(t *testing.T) {
+	env := sim.NewEnv(sim.Options{Seed: 2})
+	rt := env.Spawn("proxy")
+	rl := newRateLimiter(rt, 2)
+
+	rl.admit("idle")
+	env.Run(90 * time.Second) // idle's window ages out
+	rl.admit("busy")
+	rl.admit("busy")
+	env.Run(30 * time.Second) // busy's admissions still in-window
+	if rl.admit("busy") {
+		t.Fatal("busy client admitted over the limit after a sweep")
+	}
+	// A sweep ran at the "busy" admissions (>=1m since lastPrune); the
+	// idle client must be gone while busy survives.
+	if _, ok := rl.windows["idle"]; ok {
+		t.Fatal("idle client survived the sweep")
+	}
+	if _, ok := rl.windows["busy"]; !ok {
+		t.Fatal("busy client evicted while still active")
+	}
+}

@@ -103,6 +103,43 @@ func (t *distTree) liveChildren() []vri.Addr {
 	return out
 }
 
+// snapshot serializes the live children with their remaining soft-state
+// TTLs, in address order so checkpoint bytes are deterministic. The
+// dedup set and counters are transient and not captured.
+func (t *distTree) snapshot(w *wire.Writer, now time.Time) {
+	live := make([]vri.Addr, 0, len(t.children))
+	for a, exp := range t.children {
+		if exp.After(now) {
+			live = append(live, a)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	w.U32(uint32(len(live)))
+	for _, a := range live {
+		w.String(string(a))
+		w.Duration(t.children[a].Sub(now))
+	}
+}
+
+// restore installs a snapshot, re-anchoring child TTLs at now. Restoring
+// the children (rather than waiting for re-announcement) keeps the
+// broadcast tree usable immediately after a warm start; announcements
+// resume on their own timers and refresh the entries as usual.
+func (t *distTree) restore(r *wire.Reader, now time.Time) error {
+	n := r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		a := vri.Addr(r.String())
+		ttl := r.Duration()
+		if r.Err() != nil {
+			break
+		}
+		if a != "" && ttl > 0 {
+			t.children[a] = now.Add(ttl)
+		}
+	}
+	return r.Err()
+}
+
 // broadcast sends payload (a PortQuery message) to every node: first to
 // the tree root, which fans it out recursively.
 func (t *distTree) broadcast(payload []byte) {

@@ -171,6 +171,40 @@ func (e *Env) Now() time.Time { return e.now }
 // only be used from driver code, never from node event handlers.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
+// SetNow rebases the virtual clock to t. It is the restore half of
+// checkpoint/restore: a warm-started environment continues at the
+// virtual instant its checkpoint was taken, so soft-state expiries
+// rebased to relative durations re-anchor consistently and nodes
+// spawned afterwards start with the rebased clock. It may only be
+// called on an empty environment — before any Spawn, with no events
+// pending — because existing node clocks and event timestamps are not
+// rewritten.
+func (e *Env) SetNow(t time.Time) {
+	if !e.AtBarrier() {
+		panic("sim: SetNow called from inside a sharded window")
+	}
+	if len(e.nodes) != 0 {
+		panic("sim: SetNow after Spawn; rebase the clock before populating the environment")
+	}
+	if len(e.queue) != 0 {
+		panic("sim: SetNow with pending events")
+	}
+	if e.par != nil {
+		for _, sh := range e.par.shards {
+			if len(sh.heap) != 0 {
+				panic("sim: SetNow with pending events")
+			}
+		}
+	}
+	e.now = t
+}
+
+// AtBarrier reports whether the environment is at a driver barrier: the
+// sequential scheduler between dispatches, or the sharded scheduler with
+// every worker parked (no window executing). Driver-only operations —
+// checkpointing node state, Spawn, Fail, Env.Schedule — require it.
+func (e *Env) AtBarrier() bool { return e.par == nil || !e.par.inWindow }
+
 // Stats reports cumulative counters: events dispatched, messages sent,
 // payload bytes sent.
 func (e *Env) Stats() (events, msgs, bytes uint64) {

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// SetNow is the checkpoint/restore clock rebase: a fresh environment
+// adopts the virtual instant a checkpoint was taken, and everything
+// spawned afterwards observes the rebased clock.
+func TestSetNowRebasesClockBeforePopulation(t *testing.T) {
+	at := time.Unix(12345, 678).UTC()
+	env := NewEnv(Options{Seed: 1})
+	env.SetNow(at)
+	if !env.Now().Equal(at) {
+		t.Fatalf("Now() = %v, want %v", env.Now(), at)
+	}
+	n := env.Spawn("a")
+	if !n.Now().Equal(at) {
+		t.Fatalf("spawned node clock = %v, want rebased %v", n.Now(), at)
+	}
+	var firedAt time.Time
+	n.Schedule(time.Second, func() { firedAt = n.Now() })
+	env.Drain()
+	if want := at.Add(time.Second); !firedAt.Equal(want) {
+		t.Fatalf("event fired at %v, want %v", firedAt, want)
+	}
+}
+
+func TestSetNowRefusesPopulatedEnv(t *testing.T) {
+	env := NewEnv(Options{Seed: 1})
+	env.Spawn("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetNow after Spawn did not panic")
+		}
+	}()
+	env.SetNow(time.Unix(1, 0))
+}
+
+func TestSetNowRefusesPendingEvents(t *testing.T) {
+	env := NewEnv(Options{Seed: 1})
+	env.Schedule(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetNow with pending events did not panic")
+		}
+	}()
+	env.SetNow(time.Unix(1, 0))
+}
+
+// SetNow must also work (and guard) under the sharded scheduler, where
+// pending events live in per-shard heaps.
+func TestSetNowSharded(t *testing.T) {
+	env := NewEnv(Options{Seed: 1})
+	env.SetWorkers(4)
+	at := time.Unix(999, 0).UTC()
+	env.SetNow(at)
+	if !env.Now().Equal(at) {
+		t.Fatalf("Now() = %v, want %v", env.Now(), at)
+	}
+	n := env.Spawn("a")
+	n.Schedule(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sharded SetNow with pending shard events did not panic")
+		}
+	}()
+	env.SetNow(at.Add(time.Hour))
+}

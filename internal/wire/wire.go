@@ -46,6 +46,11 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of encoded bytes so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset truncates the Writer to empty, retaining the allocated buffer
+// so one Writer can encode a sequence of messages without reallocating.
+// Slices previously returned by Bytes are invalidated.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
@@ -83,6 +88,19 @@ func (w *Writer) Bytes32(b []byte) {
 func (w *Writer) String(s string) {
 	w.U32(uint32(len(s)))
 	w.buf = append(w.buf, s...)
+}
+
+// PatchU32 overwrites the 4 bytes at offset off with a big-endian
+// uint32. It supports the reserve-then-patch idiom for counts that are
+// only known after their elements were encoded (e.g. checkpoint object
+// tables): record Len(), append U32(0), encode the elements, then patch.
+// off must have been obtained from Len() before appending the
+// placeholder; patching a range not fully inside the buffer panics.
+func (w *Writer) PatchU32(off int, v uint32) {
+	if off < 0 || off+4 > len(w.buf) {
+		panic(fmt.Sprintf("wire: PatchU32 at %d outside buffer of %d bytes", off, len(w.buf)))
+	}
+	binary.BigEndian.PutUint32(w.buf[off:], v)
 }
 
 // Time appends a timestamp with nanosecond precision.

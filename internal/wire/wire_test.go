@@ -199,3 +199,57 @@ func TestPropertyRandomBytesNeverPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// PatchU32 supports the reserve-then-patch idiom used by checkpoint
+// encoders whose element counts are only known after encoding.
+func TestPatchU32ReserveThenPatch(t *testing.T) {
+	w := NewWriter(32)
+	w.String("hdr")
+	pos := w.Len()
+	w.U32(0)
+	for i := 0; i < 3; i++ {
+		w.U64(uint64(i))
+	}
+	w.PatchU32(pos, 3)
+
+	r := NewReader(w.Bytes())
+	if got := r.String(); got != "hdr" {
+		t.Fatalf("header = %q", got)
+	}
+	if got := r.U32(); got != 3 {
+		t.Fatalf("patched count = %d, want 3", got)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if got := r.U64(); got != i {
+			t.Fatalf("element %d = %d", i, got)
+		}
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("trailing state: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestPatchU32OutOfRangePanics(t *testing.T) {
+	w := NewWriter(8)
+	w.U16(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PatchU32 past the buffer end did not panic")
+		}
+	}()
+	w.PatchU32(0, 1) // only 2 bytes written
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.String("first")
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.U32(42)
+	r := NewReader(w.Bytes())
+	if got := r.U32(); got != 42 || r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("post-Reset encode corrupted: %d err=%v rem=%d", got, r.Err(), r.Remaining())
+	}
+}
