@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestEventThroughputAllocBudget is the allocation-regression gate for
+// the scheduler hot path: it runs the BenchmarkSimulatorEventThroughput
+// storm body with allocation accounting and fails if allocs/op exceeds
+// the checked-in budget (alloc_budget.json), so the pooled-event
+// zero-alloc property cannot silently rot. Gated behind an env var
+// because it burns ~1s of benchmarking per worker count; the CI
+// bench-smoke lane sets PIER_ALLOC_BUDGET=1.
+func TestEventThroughputAllocBudget(t *testing.T) {
+	if os.Getenv("PIER_ALLOC_BUDGET") == "" {
+		t.Skip("set PIER_ALLOC_BUDGET=1 to enforce the allocation budget")
+	}
+	raw, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatalf("reading budget file: %v", err)
+	}
+	var budget struct {
+		AllocsPerOp map[string]int64 `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatalf("parsing alloc_budget.json: %v", err)
+	}
+	if len(budget.AllocsPerOp) == 0 {
+		t.Fatal("alloc_budget.json carries no allocs_per_op entries")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		key := fmt.Sprintf("workers=%d", workers)
+		limit, ok := budget.AllocsPerOp[key]
+		if !ok {
+			t.Errorf("alloc_budget.json has no budget for %s", key)
+			continue
+		}
+		res := testing.Benchmark(func(b *testing.B) { runEventThroughput(b, workers) })
+		got := res.AllocsPerOp()
+		t.Logf("%s: %d allocs/op (budget %d), %d B/op, %s",
+			key, got, limit, res.AllocedBytesPerOp(), res.String())
+		if got > limit {
+			t.Errorf("%s: %d allocs/op exceeds the checked-in budget of %d — the event hot path regressed; "+
+				"if the regression is intentional, justify it and raise alloc_budget.json in the same change",
+				key, got, limit)
+		}
+	}
+}

@@ -410,40 +410,49 @@ func BenchmarkDHTPutGet(b *testing.B) {
 // identical work at every worker count, and the events/s metric is
 // directly comparable between sub-benchmarks.
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runEventThroughput(b, workers)
+		})
+	}
+}
+
+// runEventThroughput is the storm body shared by the benchmark above and
+// the allocation-budget regression test (alloc_budget_test.go), which
+// drives it through testing.Benchmark so the checked-in allocs/op budget
+// gates exactly what the benchmark measures.
+func runEventThroughput(b *testing.B, workers int) {
 	const (
 		nodes   = 512
 		tick    = 25 * time.Millisecond
 		slice   = 100 * time.Millisecond
 		payload = 200
 	)
-	for _, workers := range []int{1, 2, 4, 8} {
-		workers := workers
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			env := sim.NewEnv(sim.Options{Seed: 1})
-			env.SetWorkers(workers)
-			ns := env.SpawnN("n", nodes)
-			buf := make([]byte, payload)
-			for i, n := range ns {
-				i, n := i, n
-				_ = n.Listen(vri.PortQuery, func(vri.Addr, []byte) {})
-				var tickFn func()
-				tickFn = func() {
-					n.Send(ns[(i*13+7)%nodes].Addr(), vri.PortQuery, buf, nil)
-					n.Schedule(tick, tickFn)
-				}
-				n.Schedule(time.Duration(i)*time.Microsecond, tickFn)
-			}
-			env.Run(slice) // warm the storm before timing
-			start, _, _ := env.Stats()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				env.Run(slice)
-			}
-			b.StopTimer()
-			ev, _, _ := env.Stats()
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(ev-start)/secs, "events/s")
-			}
-		})
+	b.ReportAllocs()
+	env := sim.NewEnv(sim.Options{Seed: 1})
+	env.SetWorkers(workers)
+	ns := env.SpawnN("n", nodes)
+	buf := make([]byte, payload)
+	for i, n := range ns {
+		i, n := i, n
+		_ = n.Listen(vri.PortQuery, func(vri.Addr, []byte) {})
+		var tickFn func()
+		tickFn = func() {
+			n.Send(ns[(i*13+7)%nodes].Addr(), vri.PortQuery, buf, nil)
+			n.Schedule(tick, tickFn)
+		}
+		n.Schedule(time.Duration(i)*time.Microsecond, tickFn)
+	}
+	env.Run(slice) // warm the storm before timing
+	start, _, _ := env.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Run(slice)
+	}
+	b.StopTimer()
+	ev, _, _ := env.Stats()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ev-start)/secs, "events/s")
 	}
 }

@@ -29,7 +29,14 @@
 // restores of the same checkpoint at a fixed seed) but is not a
 // continuation of the saving run; the build/restore phase wall clock is
 // reported on stderr. churnagg builds no DHT ring and ignores both
-// flags.
+// flags. The checkpoint file is read from disk once: the flag probe and
+// the restore share the same loaded bytes.
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles of the
+// run, so scale-run hotspots can be captured without editing code:
+//
+//	experiments -fig 2 -workers 8 -checkpoint-load ring10k.ckpt -cpuprofile cpu.pprof
+//	go tool pprof -top cpu.pprof
 package main
 
 import (
@@ -38,6 +45,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pier/internal/experiments"
@@ -58,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "simulator worker shards (0 = sequential scheduler; results are identical for any count)")
 	ckptSave := fs.String("checkpoint-save", "", "after building the cluster, save the converged ring to this file")
 	ckptLoad := fs.String("checkpoint-load", "", "warm-start the cluster from this checkpoint file instead of building (pass -nodes matching the checkpoint)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -65,21 +76,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Profiling hooks, so scale-run hotspots can be captured without
+	// editing code:
+	//
+	//	experiments -fig 2 -nodes 10000 -checkpoint-load ring10k.ckpt -cpuprofile cpu.pprof -memprofile mem.pprof
+	//	go tool pprof -top cpu.pprof
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
 	// Checkpoint flags are validated up front, so a typoed path fails in
 	// milliseconds with a clean message instead of panicking — in the
-	// save case after minutes of cluster building.
+	// save case after minutes of cluster building. The loaded handle is
+	// kept and handed to the harness, so the checkpoint file is read
+	// from disk once, not once to probe and again to restore.
+	var ckpt *experiments.CheckpointFile
 	if *ckptLoad != "" {
-		ckptNodes, _, err := experiments.PeekCheckpoint(*ckptLoad)
+		c, err := experiments.OpenCheckpointFile(*ckptLoad)
 		if err != nil {
 			fmt.Fprintf(stderr, "checkpoint-load: %v\n", err)
 			return 2
 		}
+		ckpt = c
 		if *fig != 0 {
 			if *nodes == 0 {
-				*nodes = ckptNodes // adopt the checkpoint's deployment size
-			} else if *nodes != ckptNodes {
+				*nodes = c.NodeCount // adopt the checkpoint's deployment size
+			} else if *nodes != c.NodeCount {
 				fmt.Fprintf(stderr, "checkpoint-load: %s holds %d nodes but -nodes %d was given\n",
-					*ckptLoad, ckptNodes, *nodes)
+					*ckptLoad, c.NodeCount, *nodes)
 				return 2
 			}
 		}
@@ -97,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// build/restore wall clock goes to stderr so stdout stays bit-
 	// comparable between runs (the warm-start determinism contract).
 	var buildWall time.Duration
-	warm := experiments.WarmStart{SavePath: *ckptSave, LoadPath: *ckptLoad, BuildWall: &buildWall}
+	warm := experiments.WarmStart{SavePath: *ckptSave, LoadPath: *ckptLoad, Loaded: ckpt, BuildWall: &buildWall}
 	reportBuild := func() {
 		if buildWall > 0 {
 			phase := "build"

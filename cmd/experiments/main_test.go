@@ -133,3 +133,36 @@ func TestWorkersAppliesToFigures(t *testing.T) {
 		t.Errorf("figure 2 output missing summary:\n%s", out.String())
 	}
 }
+
+// TestProfileFlagsWriteFiles drives -cpuprofile/-memprofile on a tiny
+// run: both files must exist and be non-empty pprof output, so scale-run
+// hotspots can be captured without editing code.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut bytes.Buffer
+	args := []string{"-fig", "2", "-nodes", "12", "-seed", "7", "-cpuprofile", cpu, "-memprofile", mem}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run(%v) = %d; stderr: %s", args, code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+
+	// An uncreatable profile path fails fast with a clean message.
+	var out2, errOut2 bytes.Buffer
+	bad := []string{"-fig", "2", "-nodes", "12", "-cpuprofile", filepath.Join(dir, "no", "such", "cpu.pprof")}
+	if code := run(bad, &out2, &errOut2); code != 2 {
+		t.Errorf("run(%v) = %d, want 2", bad, code)
+	}
+	if !strings.Contains(errOut2.String(), "cpuprofile") {
+		t.Errorf("stderr = %q, want cpuprofile error", errOut2.String())
+	}
+}

@@ -44,6 +44,11 @@ type WarmStart struct {
 	// LoadPath, when non-empty, restores the cluster from this
 	// checkpoint file instead of building it.
 	LoadPath string
+	// Loaded, when non-nil, restores from an already-loaded checkpoint
+	// and takes precedence over LoadPath. The CLI probes the file at
+	// flag-validation time and hands the same bytes here, so the file is
+	// read from disk exactly once per process.
+	Loaded *CheckpointFile
 	// SavePath, when non-empty, saves the converged cluster to this file
 	// after a cold build. Harnesses that build several identical
 	// clusters in one run (per-strategy sweeps) save each time; the
@@ -94,6 +99,67 @@ func WriteCheckpointFile(path string, env *sim.Env, nodes []*qp.Node) error {
 	return f.Close()
 }
 
+// readCheckpointHeader consumes and validates the checkpoint header,
+// leaving r positioned at the first node record.
+func readCheckpointHeader(r *wire.Reader) (count uint32, savedAt time.Time, err error) {
+	if magic := r.String(); magic != checkpointMagic {
+		return 0, time.Time{}, fmt.Errorf("checkpoint: bad magic %q", magic)
+	}
+	version := r.U16()
+	savedAt = r.Time()
+	count = r.U32()
+	if err := r.Err(); err != nil {
+		return 0, time.Time{}, fmt.Errorf("checkpoint: corrupt header: %w", err)
+	}
+	if version != CheckpointFormatVersion {
+		return 0, time.Time{}, fmt.Errorf("checkpoint: format version %d, this binary reads %d — rebuild the checkpoint",
+			version, CheckpointFormatVersion)
+	}
+	// Every node record costs at least two length prefixes, so a count
+	// exceeding that bound is corruption; checking before the
+	// pre-allocation keeps a flipped count byte from demanding
+	// gigabytes up front instead of erroring.
+	if int64(count) > int64(r.Remaining()/8) {
+		return 0, time.Time{}, fmt.Errorf("checkpoint: corrupt header: %d nodes in %d remaining bytes", count, r.Remaining())
+	}
+	return count, savedAt, nil
+}
+
+// CheckpointFile is a checkpoint read into memory exactly once: the
+// header is parsed eagerly (validation, node count, saved instant) and
+// the raw bytes are retained for any number of Restore calls. The CLI
+// probes a -checkpoint-load file at flag-validation time and then
+// restores from the same handle, so a multi-megabyte checkpoint (7.9 MB
+// at 10k nodes) is no longer read from disk twice; per-strategy sweeps
+// that restore several identical clusters in one run reuse it too.
+type CheckpointFile struct {
+	// NodeCount is the roster size recorded in the header.
+	NodeCount int
+	// SavedAt is the virtual instant the checkpoint was taken.
+	SavedAt time.Time
+	data    []byte
+}
+
+// OpenCheckpointFile reads path once and validates its header.
+func OpenCheckpointFile(path string) (*CheckpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	count, savedAt, err := readCheckpointHeader(wire.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointFile{NodeCount: int(count), SavedAt: savedAt, data: data}, nil
+}
+
+// Restore warm-starts a cluster from the loaded checkpoint into a fresh
+// environment. The handle is read-only and may be restored any number
+// of times.
+func (c *CheckpointFile) Restore(env *sim.Env) ([]*qp.Node, error) {
+	return RestoreCheckpoint(c.data, env)
+}
+
 // RestoreCheckpoint warm-starts a cluster from a checkpoint into a
 // fresh environment: the virtual clock is rebased to the checkpoint
 // instant, nodes are spawned in roster order (so ids, shard assignment,
@@ -103,25 +169,9 @@ func WriteCheckpointFile(path string, env *sim.Env, nodes []*qp.Node) error {
 // after, as with Spawn.
 func RestoreCheckpoint(data []byte, env *sim.Env) ([]*qp.Node, error) {
 	r := wire.NewReader(data)
-	if magic := r.String(); magic != checkpointMagic {
-		return nil, fmt.Errorf("checkpoint: bad magic %q", magic)
-	}
-	version := r.U16()
-	savedAt := r.Time()
-	count := r.U32()
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("checkpoint: corrupt header: %w", err)
-	}
-	if version != CheckpointFormatVersion {
-		return nil, fmt.Errorf("checkpoint: format version %d, this binary reads %d — rebuild the checkpoint",
-			version, CheckpointFormatVersion)
-	}
-	// Every node record costs at least two length prefixes, so a count
-	// exceeding that bound is corruption; checking before the
-	// pre-allocation keeps a flipped count byte from demanding
-	// gigabytes up front instead of erroring.
-	if int64(count) > int64(r.Remaining()/8) {
-		return nil, fmt.Errorf("checkpoint: corrupt header: %d nodes in %d remaining bytes", count, r.Remaining())
+	count, savedAt, err := readCheckpointHeader(r)
+	if err != nil {
+		return nil, err
 	}
 	env.SetNow(savedAt)
 	cfg := clusterConfig(int(count))
@@ -148,39 +198,25 @@ func RestoreCheckpoint(data []byte, env *sim.Env) ([]*qp.Node, error) {
 }
 
 // PeekCheckpoint reads only a checkpoint file's header, reporting the
-// node count and the virtual instant it was saved. The CLI uses it to
-// validate -checkpoint-load input (and adopt the checkpoint's node
-// count) before committing to a run.
+// node count and the virtual instant it was saved. Callers that will
+// also restore should use OpenCheckpointFile instead and keep the
+// handle, paying for the disk read once.
 func PeekCheckpoint(path string) (nodes int, savedAt time.Time, err error) {
-	data, err := os.ReadFile(path)
+	c, err := OpenCheckpointFile(path)
 	if err != nil {
 		return 0, time.Time{}, err
 	}
-	r := wire.NewReader(data)
-	if magic := r.String(); magic != checkpointMagic {
-		return 0, time.Time{}, fmt.Errorf("checkpoint: bad magic %q", magic)
-	}
-	version := r.U16()
-	savedAt = r.Time()
-	count := r.U32()
-	if err := r.Err(); err != nil {
-		return 0, time.Time{}, fmt.Errorf("checkpoint: corrupt header: %w", err)
-	}
-	if version != CheckpointFormatVersion {
-		return 0, time.Time{}, fmt.Errorf("checkpoint: format version %d, this binary reads %d — rebuild the checkpoint",
-			version, CheckpointFormatVersion)
-	}
-	return int(count), savedAt, nil
+	return c.NodeCount, c.SavedAt, nil
 }
 
 // RestoreCheckpointFile warm-starts a cluster from the checkpoint at
 // path.
 func RestoreCheckpointFile(path string, env *sim.Env) ([]*qp.Node, error) {
-	data, err := os.ReadFile(path)
+	c, err := OpenCheckpointFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return RestoreCheckpoint(data, env)
+	return c.Restore(env)
 }
 
 // buildOrRestore is the cluster entry point every figure/ablation
@@ -194,8 +230,16 @@ func buildOrRestore(env *sim.Env, n int, prefix string, ws WarmStart) []*qp.Node
 			*ws.BuildWall += time.Since(start)
 		}
 	}()
-	if ws.LoadPath != "" {
-		nodes, err := RestoreCheckpointFile(ws.LoadPath, env)
+	if ws.Loaded != nil || ws.LoadPath != "" {
+		ckpt := ws.Loaded
+		if ckpt == nil {
+			c, err := OpenCheckpointFile(ws.LoadPath)
+			if err != nil {
+				panic(err)
+			}
+			ckpt = c
+		}
+		nodes, err := ckpt.Restore(env)
 		if err != nil {
 			panic(err)
 		}

@@ -180,3 +180,52 @@ opgraph g disseminate local {
 		t.Fatal("checkpoint of a cluster with an in-flight query succeeded")
 	}
 }
+
+// TestOpenCheckpointFileReadsOnce covers the read-once handle: the
+// header probe and any number of restores come out of one disk read,
+// and every restore of the same handle is bit-equivalent to restoring
+// the file directly.
+func TestOpenCheckpointFileReadsOnce(t *testing.T) {
+	path := buildAndSave(t, 8, 311)
+	ckpt, err := OpenCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.NodeCount != 8 {
+		t.Fatalf("NodeCount = %d, want 8", ckpt.NodeCount)
+	}
+	pn, pAt, err := PeekCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn != ckpt.NodeCount || !pAt.Equal(ckpt.SavedAt) {
+		t.Fatalf("PeekCheckpoint (%d, %v) disagrees with handle (%d, %v)", pn, pAt, ckpt.NodeCount, ckpt.SavedAt)
+	}
+
+	// The file on disk can vanish after Open: restores use the retained
+	// bytes, proving no second read happens.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		env := sim.NewEnv(sim.Options{Seed: 311})
+		nodes, err := ckpt.Restore(env)
+		if err != nil {
+			t.Fatalf("restore %d from deleted-file handle: %v", i, err)
+		}
+		if len(nodes) != 8 {
+			t.Fatalf("restore %d: %d nodes, want 8", i, len(nodes))
+		}
+		if !env.Now().Equal(ckpt.SavedAt) {
+			t.Fatalf("restore %d: clock %v, want %v", i, env.Now(), ckpt.SavedAt)
+		}
+	}
+
+	// buildOrRestore prefers the loaded handle over the (now dangling)
+	// path, so the CLI's probe-then-run flow cannot re-read the file.
+	env := sim.NewEnv(sim.Options{Seed: 311})
+	nodes := buildOrRestore(env, 8, "n", WarmStart{LoadPath: path, Loaded: ckpt})
+	if len(nodes) != 8 {
+		t.Fatalf("buildOrRestore via Loaded: %d nodes, want 8", len(nodes))
+	}
+}

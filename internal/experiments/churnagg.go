@@ -109,6 +109,13 @@ type aggAgent struct {
 	interval time.Duration
 	acc      int64 // local observations + child partials this epoch
 
+	// tickFn is the pre-bound tick closure and scratch the reusable
+	// report encode buffer: rearming a timer or shipping a partial then
+	// allocates nothing per epoch (Send consumes the bytes
+	// synchronously).
+	tickFn  func()
+	scratch *wire.Writer
+
 	// Root-only accounting.
 	epochs  int
 	total   int64
@@ -119,7 +126,8 @@ type aggAgent struct {
 }
 
 func newAggAgent(rt *sim.Node, root, parent vri.Addr, interval time.Duration) *aggAgent {
-	a := &aggAgent{rt: rt, root: root, parent: parent, interval: interval}
+	a := &aggAgent{rt: rt, root: root, parent: parent, interval: interval, scratch: wire.NewWriter(8)}
+	a.tickFn = a.tick
 	if err := rt.Listen(aggPort, a.onReport); err != nil {
 		panic(err)
 	}
@@ -129,7 +137,7 @@ func newAggAgent(rt *sim.Node, root, parent vri.Addr, interval time.Duration) *a
 // start arms the first epoch tick, staggered per node id so epochs are
 // spread across each interval (and never collide with driver events).
 func (a *aggAgent) start(stagger time.Duration) {
-	a.rt.Schedule(a.interval+stagger, a.tick)
+	a.rt.Schedule(a.interval+stagger, a.tickFn)
 }
 
 // onReport folds one child partial into the local epoch.
@@ -154,11 +162,12 @@ func (a *aggAgent) tick() {
 		a.epochs++
 		a.digest = fnvMix(a.digest, uint64(a.acc))
 		a.acc = 0
-		a.rt.Schedule(a.interval, a.tick)
+		a.rt.Schedule(a.interval, a.tickFn)
 		return
 	}
 	if a.acc != 0 {
-		w := wire.NewWriter(8)
+		w := a.scratch
+		w.Reset()
 		w.I64(a.acc)
 		sent := a.acc
 		a.acc = 0
@@ -175,7 +184,7 @@ func (a *aggAgent) tick() {
 			}
 		})
 	}
-	a.rt.Schedule(a.interval, a.tick)
+	a.rt.Schedule(a.interval, a.tickFn)
 }
 
 func fnvMix(h, v uint64) uint64 {

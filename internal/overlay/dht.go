@@ -186,7 +186,7 @@ func (d *DHT) Put(namespace, key, suffix string, data []byte, lifetime time.Dura
 			}
 			return
 		}
-		d.rt.Send(owner.addr, vri.PortOverlay, encodePut(obj), ack)
+		d.rt.Send(owner.addr, vri.PortOverlay, encodePut(d.router.scratch, obj), ack)
 	})
 }
 
@@ -228,7 +228,7 @@ func (d *DHT) Get(namespace, key string, done func(objs []Object, err error)) {
 			return
 		}
 		reqID := d.router.newPending(&pendingReq{onGet: done})
-		d.rt.Send(owner.addr, vri.PortOverlay, encodeGetReq(reqID, namespace, key), func(ok bool) {
+		d.rt.Send(owner.addr, vri.PortOverlay, encodeGetReq(d.router.scratch, reqID, namespace, key), func(ok bool) {
 			if !ok {
 				d.router.failPending(reqID)
 			}
@@ -257,7 +257,7 @@ func (d *DHT) Renew(namespace, key, suffix string, lifetime time.Duration, done 
 		reqID := d.router.newPending(&pendingReq{onRenew: func(ok bool, err error) {
 			done(err == nil && ok)
 		}})
-		d.rt.Send(owner.addr, vri.PortOverlay, encodeRenewReq(reqID, namespace, key, suffix, lifetime), func(ok bool) {
+		d.rt.Send(owner.addr, vri.PortOverlay, encodeRenewReq(d.router.scratch, reqID, namespace, key, suffix, lifetime), func(ok bool) {
 			if !ok {
 				d.router.failPending(reqID)
 			}
@@ -316,7 +316,7 @@ func (d *DHT) deliverRouted(m *routedMsg) {
 		d.storeLocal(m.obj)
 	case riLookup:
 		d.rt.Send(m.origin, vri.PortOverlay,
-			encodeLookupResp(m.reqID, d.rt.Addr(), d.router.self.id), nil)
+			encodeLookupResp(d.router.scratch, m.reqID, d.rt.Addr(), d.router.self.id), nil)
 	}
 }
 
@@ -352,7 +352,7 @@ func (d *DHT) handleMessage(src vri.Addr, payload []byte) {
 		if r.Err() != nil {
 			return
 		}
-		d.rt.Send(src, vri.PortOverlay, encodeGetResp(reqID, d.store.get(ns, key)), nil)
+		d.rt.Send(src, vri.PortOverlay, encodeGetResp(d.router.scratch, reqID, d.store.get(ns, key)), nil)
 
 	case mkGetResp:
 		reqID := r.U64()
@@ -383,7 +383,7 @@ func (d *DHT) handleMessage(src vri.Addr, payload []byte) {
 			return
 		}
 		ok := d.store.renew(ns, key, suffix, lifetime)
-		d.rt.Send(src, vri.PortOverlay, encodeRenewResp(reqID, ok), nil)
+		d.rt.Send(src, vri.PortOverlay, encodeRenewResp(d.router.scratch, reqID, ok), nil)
 
 	case mkRenewResp:
 		reqID := r.U64()
@@ -401,7 +401,7 @@ func (d *DHT) handleMessage(src vri.Addr, payload []byte) {
 			return
 		}
 		d.rt.Send(src, vri.PortOverlay,
-			encodeStabilizeResp(reqID, d.router.pred.addr, d.router.succs, d.router.fingerSample(16)), nil)
+			encodeStabilizeResp(d.router.scratch, reqID, d.router.pred.addr, d.router.succs, d.router.fingerSample(16)), nil)
 
 	case mkStabilizeResp:
 		reqID := r.U64()
@@ -435,7 +435,7 @@ func (d *DHT) handleMessage(src vri.Addr, payload []byte) {
 		if r.Err() != nil {
 			return
 		}
-		d.rt.Send(src, vri.PortOverlay, encodePong(reqID), nil)
+		d.rt.Send(src, vri.PortOverlay, encodePong(d.router.scratch, reqID), nil)
 
 	case mkPong:
 		reqID := r.U64()

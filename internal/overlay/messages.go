@@ -9,6 +9,16 @@ import (
 
 // Wire protocol for the overlay, carried on vri.PortOverlay. Every
 // datagram starts with a one-byte message kind.
+//
+// Encoding is allocation-free on the steady state: every encode function
+// takes a caller-owned scratch wire.Writer (the router's, reused for the
+// node's entire lifetime), resets it, and returns its backing bytes. The
+// handoff contract is strict — the returned slice is valid only until
+// the next encode on the same writer, so it must be passed to
+// vri.Runtime.Send (which consumes payloads synchronously) before any
+// other encode runs, and never retained in a callback or struct. Code
+// that must keep encoded bytes across an asynchronous boundary (none in
+// this package today) must use its own Writer instead of the scratch.
 const (
 	// mkRouted is a multi-hop message making forward progress toward the
 	// owner of a target identifier (§3.2.2). It wraps either a DHT send
@@ -90,8 +100,8 @@ func readObject(r *wire.Reader) Object {
 	return o
 }
 
-func encodeRouted(m *routedMsg) []byte {
-	w := wire.NewWriter(64 + len(m.obj.Data))
+func encodeRouted(w *wire.Writer, m *routedMsg) []byte {
+	w.Reset()
 	w.U8(mkRouted)
 	w.U64(uint64(m.target))
 	w.String(string(m.origin))
@@ -123,8 +133,8 @@ func decodeRouted(r *wire.Reader) (*routedMsg, error) {
 	return m, r.Err()
 }
 
-func encodeLookupResp(reqID uint64, owner vri.Addr, ownerID ID) []byte {
-	w := wire.NewWriter(32)
+func encodeLookupResp(w *wire.Writer, reqID uint64, owner vri.Addr, ownerID ID) []byte {
+	w.Reset()
 	w.U8(mkLookupResp)
 	w.U64(reqID)
 	w.String(string(owner))
@@ -132,8 +142,8 @@ func encodeLookupResp(reqID uint64, owner vri.Addr, ownerID ID) []byte {
 	return w.Bytes()
 }
 
-func encodeGetReq(reqID uint64, ns, key string) []byte {
-	w := wire.NewWriter(32 + len(ns) + len(key))
+func encodeGetReq(w *wire.Writer, reqID uint64, ns, key string) []byte {
+	w.Reset()
 	w.U8(mkGetReq)
 	w.U64(reqID)
 	w.String(ns)
@@ -141,8 +151,8 @@ func encodeGetReq(reqID uint64, ns, key string) []byte {
 	return w.Bytes()
 }
 
-func encodeGetResp(reqID uint64, objs []Object) []byte {
-	w := wire.NewWriter(64)
+func encodeGetResp(w *wire.Writer, reqID uint64, objs []Object) []byte {
+	w.Reset()
 	w.U8(mkGetResp)
 	w.U64(reqID)
 	w.U32(uint32(len(objs)))
@@ -152,15 +162,15 @@ func encodeGetResp(reqID uint64, objs []Object) []byte {
 	return w.Bytes()
 }
 
-func encodePut(o Object) []byte {
-	w := wire.NewWriter(48 + len(o.Data))
+func encodePut(w *wire.Writer, o Object) []byte {
+	w.Reset()
 	w.U8(mkPut)
 	appendObject(w, o)
 	return w.Bytes()
 }
 
-func encodeRenewReq(reqID uint64, ns, key, suffix string, lifetime time.Duration) []byte {
-	w := wire.NewWriter(48)
+func encodeRenewReq(w *wire.Writer, reqID uint64, ns, key, suffix string, lifetime time.Duration) []byte {
+	w.Reset()
 	w.U8(mkRenewReq)
 	w.U64(reqID)
 	w.String(ns)
@@ -170,23 +180,23 @@ func encodeRenewReq(reqID uint64, ns, key, suffix string, lifetime time.Duration
 	return w.Bytes()
 }
 
-func encodeRenewResp(reqID uint64, ok bool) []byte {
-	w := wire.NewWriter(16)
+func encodeRenewResp(w *wire.Writer, reqID uint64, ok bool) []byte {
+	w.Reset()
 	w.U8(mkRenewResp)
 	w.U64(reqID)
 	w.Bool(ok)
 	return w.Bytes()
 }
 
-func encodeStabilizeReq(reqID uint64) []byte {
-	w := wire.NewWriter(16)
+func encodeStabilizeReq(w *wire.Writer, reqID uint64) []byte {
+	w.Reset()
 	w.U8(mkStabilizeReq)
 	w.U64(reqID)
 	return w.Bytes()
 }
 
-func encodeStabilizeResp(reqID uint64, pred vri.Addr, succs []nodeRef, fingers []vri.Addr) []byte {
-	w := wire.NewWriter(96)
+func encodeStabilizeResp(w *wire.Writer, reqID uint64, pred vri.Addr, succs []nodeRef, fingers []vri.Addr) []byte {
+	w.Reset()
 	w.U8(mkStabilizeResp)
 	w.U64(reqID)
 	w.String(string(pred))
@@ -201,22 +211,22 @@ func encodeStabilizeResp(reqID uint64, pred vri.Addr, succs []nodeRef, fingers [
 	return w.Bytes()
 }
 
-func encodeNotify(addr vri.Addr) []byte {
-	w := wire.NewWriter(32)
+func encodeNotify(w *wire.Writer, addr vri.Addr) []byte {
+	w.Reset()
 	w.U8(mkNotify)
 	w.String(string(addr))
 	return w.Bytes()
 }
 
-func encodePing(reqID uint64) []byte {
-	w := wire.NewWriter(16)
+func encodePing(w *wire.Writer, reqID uint64) []byte {
+	w.Reset()
 	w.U8(mkPing)
 	w.U64(reqID)
 	return w.Bytes()
 }
 
-func encodePong(reqID uint64) []byte {
-	w := wire.NewWriter(16)
+func encodePong(w *wire.Writer, reqID uint64) []byte {
+	w.Reset()
 	w.U8(mkPong)
 	w.U64(reqID)
 	return w.Bytes()

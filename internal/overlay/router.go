@@ -86,6 +86,12 @@ type router struct {
 	reqSeq  uint64
 	pending map[uint64]*pendingReq
 
+	// scratch is the node's reusable encode buffer: every outbound
+	// overlay message is encoded into it and consumed synchronously by
+	// Send (see the handoff contract in messages.go), so steady-state
+	// ring maintenance allocates no payload bytes on the sender side.
+	scratch *wire.Writer
+
 	timers  []vri.Timer
 	stopped bool
 
@@ -110,6 +116,7 @@ func newRouter(rt vri.Runtime, cfg RouterConfig) *router {
 		cfg:     cfg,
 		self:    ref(rt.Addr()),
 		pending: make(map[uint64]*pendingReq),
+		scratch: wire.NewWriter(256),
 	}
 	r.succs = []nodeRef{r.self} // alone in the ring: own successor
 	return r
@@ -186,10 +193,10 @@ func (r *router) join(bootstrap vri.Addr, done func(error)) {
 		}
 		r.succs = append([]nodeRef{owner}, r.succs...)
 		r.trimSuccs()
-		r.sendTo(owner.addr, encodeNotify(r.self.addr), nil)
+		r.sendTo(owner.addr, encodeNotify(r.scratch, r.self.addr), nil)
 		done(nil)
 	}})
-	r.sendTo(bootstrap, encodeRouted(m), func(ok bool) {
+	r.sendTo(bootstrap, encodeRouted(r.scratch, m), func(ok bool) {
 		if !ok {
 			r.failPending(m.reqID)
 		}
@@ -291,7 +298,7 @@ func (r *router) forward(m *routedMsg, next nodeRef, attempt int) {
 		return
 	}
 	r.hopCount++
-	r.sendTo(next.addr, encodeRouted(m), func(ok bool) {
+	r.sendTo(next.addr, encodeRouted(r.scratch, m), func(ok bool) {
 		if ok {
 			return
 		}
@@ -402,9 +409,9 @@ func (r *router) stabilize() {
 		}
 		r.succs = list
 		r.trimSuccs()
-		r.sendTo(r.successor().addr, encodeNotify(r.self.addr), nil)
+		r.sendTo(r.successor().addr, encodeNotify(r.scratch, r.self.addr), nil)
 	}})
-	r.sendTo(succ.addr, encodeStabilizeReq(reqID), func(ok bool) {
+	r.sendTo(succ.addr, encodeStabilizeReq(r.scratch, reqID), func(ok bool) {
 		if !ok {
 			r.failPending(reqID)
 		}
@@ -464,7 +471,7 @@ func (r *router) checkPredecessor() {
 			r.pred = nodeRef{}
 		}
 	}})
-	r.sendTo(pred.addr, encodePing(reqID), func(ok bool) {
+	r.sendTo(pred.addr, encodePing(r.scratch, reqID), func(ok bool) {
 		if !ok {
 			r.failPending(reqID)
 		}

@@ -89,6 +89,13 @@ type Node struct {
 	// tagCounter issues node-local dataflow tags (see instantiate).
 	tagCounter exec.Tag
 
+	// scratch is the node's reusable encode buffer for messages that are
+	// handed to Send synchronously (result forwarding, tree fan-out).
+	// Send consumes payloads before returning, so the buffer is free for
+	// the next encode; bytes that must survive an asynchronous boundary
+	// (dissemination payloads held across lookups) use their own Writer.
+	scratch *wire.Writer
+
 	started bool
 	// Stats.
 	graphsExecuted uint64
@@ -123,6 +130,7 @@ func NewNode(rt vri.Runtime, cfg Config) *Node {
 		running: make(map[string]*runningQuery),
 		proxied: make(map[string]*proxyState),
 		limiter: newRateLimiter(rt, cfg.MaxQueriesPerMinute),
+		scratch: wire.NewWriter(256),
 	}
 	n.tree = newDistTree(n)
 	return n
@@ -331,7 +339,8 @@ func (n *Node) forwardResult(rq *runningQuery, t *tuple.Tuple) {
 		n.deliverResult(rq.id, t)
 		return
 	}
-	w := wire.NewWriter(64)
+	w := n.scratch
+	w.Reset()
 	w.U8(qmResult)
 	w.String(rq.id)
 	t.EncodeTo(w)

@@ -144,7 +144,9 @@ func (t *distTree) restore(r *wire.Reader, now time.Time) error {
 // the tree root, which fans it out recursively.
 func (t *distTree) broadcast(payload []byte) {
 	id := t.n.uniquifier()
-	wrapped := encodeTreeBroadcast(id, payload)
+	// The lookup callback may run asynchronously, so these bytes must
+	// outlive this call: encode into a fresh writer, not n.scratch.
+	wrapped := encodeTreeBroadcast(wire.NewWriter(32+len(payload)), id, payload)
 	t.n.dht.Lookup(treeNS, t.n.cfg.TreeRootKey, func(root vri.Addr, err error) {
 		if err != nil {
 			return
@@ -157,8 +159,8 @@ func (t *distTree) broadcast(payload []byte) {
 	})
 }
 
-func encodeTreeBroadcast(id string, payload []byte) []byte {
-	w := wire.NewWriter(32 + len(payload))
+func encodeTreeBroadcast(w *wire.Writer, id string, payload []byte) []byte {
+	w.Reset()
 	w.U8(qmTreeBroadcast)
 	w.String(id)
 	w.Bytes32(payload)
@@ -182,8 +184,11 @@ func (t *distTree) deliverBroadcast(id string, payload []byte) {
 	}
 	t.seen[id] = struct{}{}
 	t.broadcasts++
-	// Forward down the tree first (latency), then execute locally.
-	wrapped := encodeTreeBroadcast(id, payload)
+	// Forward down the tree first (latency), then execute locally. Every
+	// Send consumes the bytes synchronously and nothing re-encodes
+	// between the sends, so the node's scratch writer is safe here — the
+	// fan-out to all children costs no payload allocation.
+	wrapped := encodeTreeBroadcast(t.n.scratch, id, payload)
 	for _, child := range t.liveChildren() {
 		t.n.rt.Send(child, vri.PortQuery, wrapped, nil)
 	}

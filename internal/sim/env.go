@@ -21,13 +21,33 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pier/internal/vri"
+)
+
+// eventKind selects an event's dispatch behavior. The two dominant
+// event classes of every workload — message delivery and its ack — carry
+// typed bodies inline in the event struct instead of a closure, so the
+// hot path allocates nothing per event; the general Schedule API keeps
+// arbitrary closures via evFunc.
+type eventKind uint8
+
+const (
+	// evFunc runs an arbitrary closure (Env.Schedule, Node.Schedule,
+	// stream plumbing).
+	evFunc eventKind = iota
+	// evDeliver delivers a datagram to ev.node: traffic accounting, the
+	// port handler, and the ack-back event. Body: from, port, payload,
+	// ack.
+	evDeliver
+	// evAck reports a delivery outcome to the sender (ev.node). Body:
+	// ack, ackOK.
+	evAck
 )
 
 // event is one entry in a scheduler's priority queue. Dispatch order is
@@ -35,13 +55,33 @@ import (
 // (0 for environment-level sources) and seq a per-source counter, so the
 // order is deterministic and — in sharded mode — independent of how many
 // workers raced to enqueue.
+//
+// Events are pooled (see pool.go): after dispatch or discard the popping
+// context recycles the struct, so no reference to an *event may be
+// retained past dispatch except through a timerHandle, which carries the
+// generation it was issued for and goes inert once the event recycles.
 type event struct {
 	at        time.Time
 	src       uint64
 	seq       uint64
 	node      *Node // nil for environment-level events
-	fn        func()
+	kind      eventKind
 	cancelled bool
+	ackOK     bool     // evAck: the outcome to report
+	port      vri.Port // evDeliver: destination port
+
+	// gen counts recycles. A timerHandle snapshots it at Schedule time
+	// and cancels only while it still matches, so a handle kept past the
+	// event's dispatch cannot cancel an unrelated reincarnation. See
+	// timerHandle.Cancel for the ownership contract that makes the
+	// check-then-act safe and for why the counter is atomic.
+	gen atomic.Uint32
+
+	next    *event // pool free-list link
+	fn      func() // evFunc: the closure to run
+	from    *Node  // evDeliver: the sender
+	payload []byte // evDeliver: pooled message bytes, recycled with the event
+	ack     vri.AckFunc
 }
 
 func (ev *event) before(other *event) bool {
@@ -52,21 +92,6 @@ func (ev *event) before(other *event) bool {
 		return ev.src < other.src
 	}
 	return ev.seq < other.seq
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }
 
 // Options configure an Env.
@@ -139,6 +164,11 @@ type Env struct {
 	// par is non-nil when the sharded scheduler is selected via
 	// SetWorkers. See sharded.go.
 	par *parEngine
+
+	// pool recycles events and payload buffers for the sequential
+	// scheduler and all driver/coordinator-context scheduling. Shards
+	// own their own pools (single-writer, lock-free).
+	pool pool
 
 	traceMu sync.Mutex
 }
@@ -228,29 +258,140 @@ func (e *Env) Traffic(addr vri.Addr) NodeTraffic {
 	return NodeTraffic{}
 }
 
-// scheduleFrom enqueues fn to run at time at on behalf of target (nil =
-// environment), attributed to scheduling source src (nil = environment).
-// The source determines the deterministic tie-break key and — in sharded
-// mode — which shard's structures the event is routed through. Both
-// scheduler modes key events identically, so their dispatch orders (and
-// therefore all simulation results) coincide exactly.
-func (e *Env) scheduleFrom(src *Node, at time.Time, target *Node, fn func()) *event {
-	if e.par == nil {
-		if at.Before(e.now) {
-			at = e.now
-		}
-		ev := &event{at: at, node: target, fn: fn}
-		if src != nil {
-			src.srcSeq++
-			ev.src, ev.seq = src.id, src.srcSeq
-		} else {
-			e.seq++
-			ev.seq = e.seq
-		}
-		heap.Push(&e.queue, ev)
-		return ev
+// newEvent draws an event from the scheduling context's pool and stamps
+// the deterministic dispatch key (at, src, seq) on behalf of source src
+// (nil = environment) targeting target (nil = environment). The caller
+// fills the kind-specific body and hands the event to enqueue. The
+// source determines the tie-break key, the pool, and — in sharded mode —
+// which shard's structures the event is routed through. Both scheduler
+// modes key events identically, so their dispatch orders (and therefore
+// all simulation results) coincide exactly.
+func (e *Env) newEvent(src *Node, at time.Time, target *Node) *event {
+	var base time.Time
+	var ev *event
+	if p := e.par; p != nil && p.inWindow && src != nil {
+		// Worker context: the source's clock and the source shard's pool,
+		// both owned by the calling worker.
+		base = src.now
+		ev = e.par.shards[src.shard].pool.getEvent()
+	} else {
+		base = e.now
+		ev = e.pool.getEvent()
 	}
-	return e.par.schedule(e, src, at, target, fn)
+	if at.Before(base) {
+		at = base
+	}
+	ev.at = at
+	ev.node = target
+	if src != nil {
+		src.srcSeq++
+		ev.src, ev.seq = src.id, src.srcSeq
+	} else {
+		e.seq++
+		ev.src, ev.seq = 0, e.seq
+	}
+	return ev
+}
+
+// enqueue routes a stamped event into the right queue: the sequential
+// heap, the owning shard's heap, or — during a sharded window — the
+// sender shard's outbox lane for cross-shard and environment targets.
+// src must be the same source the event was stamped with.
+func (e *Env) enqueue(src *Node, ev *event) {
+	p := e.par
+	if p == nil {
+		e.queue.push(ev)
+		return
+	}
+	if p.inWindow && src != nil {
+		sh := p.shards[src.shard]
+		switch {
+		case ev.node == nil:
+			sh.outEnv = append(sh.outEnv, ev)
+		case ev.node.shard == sh.id:
+			sh.heap.push(ev)
+		default:
+			sh.out[ev.node.shard] = append(sh.out[ev.node.shard], ev)
+		}
+		return
+	}
+	// Coordinator context: workers are parked, every heap is safe.
+	if ev.node != nil {
+		p.shards[ev.node.shard].heap.push(ev)
+	} else {
+		e.queue.push(ev)
+	}
+}
+
+// scheduleFrom enqueues fn to run at time at on behalf of target,
+// attributed to scheduling source src. It is the closure-bodied (evFunc)
+// event constructor; the delivery hot path builds typed events directly.
+func (e *Env) scheduleFrom(src *Node, at time.Time, target *Node, fn func()) *event {
+	ev := e.newEvent(src, at, target)
+	ev.kind = evFunc
+	ev.fn = fn
+	e.enqueue(src, ev)
+	return ev
+}
+
+// scheduleAfter is scheduleFrom with a delay relative to the source's
+// current clock (the node's own event time inside a sharded window, the
+// environment clock otherwise).
+func (e *Env) scheduleAfter(src *Node, delay time.Duration, target *Node, fn func()) *event {
+	var base time.Time
+	if p := e.par; p != nil && p.inWindow && src != nil {
+		base = src.now
+	} else {
+		base = e.now
+	}
+	return e.scheduleFrom(src, base.Add(delay), target, fn)
+}
+
+// timerAfter wraps scheduleAfter in a generation-pinned handle. It
+// returns the concrete type so Node.Schedule stays a single call plus an
+// interface conversion — cheap enough to inline, which lets callers that
+// discard the vri.Timer (the common rearm-a-tick pattern) pay no
+// allocation for the handle boxing.
+func (e *Env) timerAfter(src *Node, delay time.Duration, fn func()) timerHandle {
+	ev := e.scheduleAfter(src, delay, src, fn)
+	return timerHandle{ev, ev.gen.Load()}
+}
+
+// dispatch runs one popped, live event. The caller recycles ev into its
+// own pool afterwards; nothing in dispatch may retain ev or its payload.
+func (e *Env) dispatch(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evDeliver:
+		e.runDeliver(ev)
+	case evAck:
+		ev.ack(ev.ackOK)
+	}
+}
+
+// runDeliver executes a typed delivery event on the destination node:
+// traffic accounting, the port handler, and the ack racing back over the
+// reverse path. The payload buffer is only valid until dispatch returns
+// (it recycles with the event), which is safe because handlers copy
+// anything they retain — the vri.MessageHandler contract.
+func (e *Env) runDeliver(ev *event) {
+	dst := ev.node
+	dst.traf.MsgsIn++
+	dst.traf.BytesIn += uint64(len(ev.payload))
+	if h := dst.handlers[ev.port]; h != nil {
+		h(ev.from.addr, ev.payload)
+	}
+	// If the sender has failed meanwhile the ack event is silently
+	// discarded at dispatch.
+	if ev.ack != nil {
+		back := e.opts.Topology.Latency(dst.addr, ev.from.addr)
+		ae := e.newEvent(dst, dst.timeNow().Add(back), ev.from)
+		ae.kind = evAck
+		ae.ack = ev.ack
+		ae.ackOK = true
+		e.enqueue(dst, ae)
+	}
 }
 
 // Schedule enqueues an environment-level event after delay. It is used by
@@ -264,12 +405,40 @@ func (e *Env) Schedule(delay time.Duration, fn func()) vri.Timer {
 		panic("sim: Env.Schedule called from a node event under the sharded scheduler; use Node.Schedule")
 	}
 	ev := e.scheduleFrom(nil, e.now.Add(delay), nil, fn)
-	return timerHandle{ev}
+	return timerHandle{ev, ev.gen.Load()}
 }
 
-type timerHandle struct{ ev *event }
+// timerHandle implements vri.Timer over a pooled event. gen pins the
+// incarnation the handle was issued for: once the event dispatches and
+// recycles, the generations diverge and Cancel goes inert instead of
+// cancelling whatever event reused the struct.
+type timerHandle struct {
+	ev  *event
+	gen uint32
+}
 
-func (t timerHandle) Cancel() { t.ev.cancelled = true }
+// Cancel is subject to the same ownership rule as every timer in this
+// event-driven system (§3.1.2, one logical thread per node): it may only
+// be called from the context that scheduled the timer — the owning
+// node's event handlers, or driver/coordinator code for Env.Schedule
+// timers. That rule is what makes the check-then-act below sound: while
+// the generations match, the event is still pending in the calling
+// context's own structures, so no other goroutine can be recycling it
+// between the check and the cancelled write. Once the timer has fired,
+// its recycle happened in this same context (a node's events dispatch on
+// one worker), so a later Cancel here observes the bumped generation and
+// stays read-only. The counter is atomic for the one remaining
+// interleaving: a pooled struct whose ownership has already moved to
+// another shard (recycled here, reused for a cross-shard event, now
+// being recycled there) may bump gen concurrently with this stale
+// handle's load — the load must not be a data race, and whichever value
+// it observes is a past-this-handle generation, so the match fails and
+// nothing is written.
+func (t timerHandle) Cancel() {
+	if t.ev.gen.Load() == t.gen {
+		t.ev.cancelled = true
+	}
+}
 
 // Step dispatches the single next event, advancing virtual time. It
 // returns false when the queue is empty. Step requires the sequential
@@ -279,19 +448,22 @@ func (e *Env) Step() bool {
 		panic("sim: Step requires the sequential scheduler; call SetWorkers(0) first")
 	}
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		if ev.cancelled {
+			e.pool.putEvent(ev)
 			continue
 		}
 		e.now = ev.at
 		if ev.node != nil {
 			if !ev.node.alive {
-				continue // events for failed nodes are discarded
+				e.pool.putEvent(ev) // events for failed nodes are discarded
+				continue
 			}
 			ev.node.now = ev.at
 		}
 		e.events++
-		ev.fn()
+		e.dispatch(ev)
+		e.pool.putEvent(ev)
 		return true
 	}
 	return false
@@ -319,7 +491,7 @@ func (e *Env) RunUntil(deadline time.Time) {
 		// scheduler (correctly) never makes.
 		next := e.queue[0]
 		if next.cancelled || (next.node != nil && !next.node.alive) {
-			heap.Pop(&e.queue)
+			e.pool.putEvent(e.queue.pop())
 			continue
 		}
 		if next.at.After(deadline) {
@@ -460,18 +632,24 @@ func (e *Env) trace(at time.Time, format string, args ...any) {
 
 // deliver routes a datagram through the network model. It computes the
 // departure time from the congestion model, adds propagation latency from
-// the topology, and schedules the receive event on the destination and
-// the ack event on the source. It always executes in src's context: on
-// src's shard worker during a window, or in driver context otherwise.
+// the topology, and schedules a typed receive event on the destination
+// (or a typed failure-ack on the source). It always executes in src's
+// context: on src's shard worker during a window, or in driver context
+// otherwise. The caller's payload slice is consumed synchronously — the
+// bytes are copied into a pooled buffer before deliver returns — so
+// senders may immediately reuse their encode buffers.
 func (e *Env) deliver(src *Node, dst vri.Addr, dstPort vri.Port, payload []byte, ack vri.AckFunc) {
 	now := src.timeNow()
+	var pl *pool
 	if e.par != nil && e.par.inWindow {
 		sh := e.par.shards[src.shard]
 		sh.msgs++
 		sh.bytes += uint64(len(payload))
+		pl = &sh.pool
 	} else {
 		e.msgs++
 		e.bytes += uint64(len(payload))
+		pl = &e.pool
 	}
 	src.traf.MsgsOut++
 	src.traf.BytesOut += uint64(len(payload))
@@ -493,24 +671,23 @@ func (e *Env) deliver(src *Node, dst vri.Addr, dstPort vri.Port, payload []byte,
 	dstNode := e.nodes[dst]
 	if lost || dstNode == nil || !dstNode.alive {
 		if ack != nil {
-			e.scheduleFrom(src, now.Add(e.opts.AckTimeout), src, func() { ack(false) })
+			ev := e.newEvent(src, now.Add(e.opts.AckTimeout), src)
+			ev.kind = evAck
+			ev.ack = ack
+			ev.ackOK = false
+			e.enqueue(src, ev)
 		}
 		return
 	}
-	e.scheduleFrom(src, arrival, dstNode, func() {
-		dstNode.traf.MsgsIn++
-		dstNode.traf.BytesIn += uint64(len(payload))
-		h := dstNode.handlers[dstPort]
-		if h != nil {
-			h(src.addr, payload)
-		}
-		// The ack races back over the reverse path. If the sender has
-		// failed meanwhile the ack event is silently discarded.
-		if ack != nil {
-			back := e.opts.Topology.Latency(dst, src.addr)
-			e.scheduleFrom(dstNode, dstNode.timeNow().Add(back), src, func() { ack(true) })
-		}
-	})
+	ev := e.newEvent(src, arrival, dstNode)
+	ev.kind = evDeliver
+	ev.from = src
+	ev.port = dstPort
+	ev.ack = ack
+	buf := pl.getBuf(len(payload))
+	copy(buf, payload)
+	ev.payload = buf
+	e.enqueue(src, ev)
 }
 
 func fnvHash(s string) uint64 {

@@ -63,7 +63,9 @@ func TestSendDeliversAndAcks(t *testing.T) {
 	b := env.Spawn("b")
 	var got []byte
 	var from vri.Addr
-	if err := b.Listen(vri.PortQuery, func(src vri.Addr, p []byte) { got = p; from = src }); err != nil {
+	// Copy: the payload slice is only valid during the handler call
+	// (pooled delivery buffers recycle on return).
+	if err := b.Listen(vri.PortQuery, func(src vri.Addr, p []byte) { got = append([]byte(nil), p...); from = src }); err != nil {
 		t.Fatal(err)
 	}
 	acked := false
@@ -85,7 +87,7 @@ func TestSendCopiesPayload(t *testing.T) {
 	a := env.Spawn("a")
 	b := env.Spawn("b")
 	var got []byte
-	_ = b.Listen(vri.PortQuery, func(_ vri.Addr, p []byte) { got = p })
+	_ = b.Listen(vri.PortQuery, func(_ vri.Addr, p []byte) { got = append([]byte(nil), p...) })
 	buf := []byte("first")
 	a.Send("b", vri.PortQuery, buf, nil)
 	copy(buf, "XXXXX") // mutate after send; delivery must see the original

@@ -61,10 +61,12 @@ func (n *Node) Rand() *rand.Rand { return n.rng }
 func (n *Node) Alive() bool { return n.alive }
 
 // Schedule enqueues fn on the scheduler after delay, attributed to this
-// node; it is dropped if the node fails first.
+// node; it is dropped if the node fails first. The body stays a single
+// call so it inlines: callers that discard the Timer (the common
+// rearm-a-tick pattern) then pay no allocation for the interface boxing
+// of the handle.
 func (n *Node) Schedule(delay time.Duration, fn func()) vri.Timer {
-	ev := n.env.scheduleFrom(n, n.timeNow().Add(delay), n, fn)
-	return timerHandle{ev}
+	return n.env.timerAfter(n, delay, fn)
 }
 
 // Listen registers a datagram handler for port.
@@ -80,15 +82,15 @@ func (n *Node) Listen(port vri.Port, h vri.MessageHandler) error {
 func (n *Node) Release(port vri.Port) { delete(n.handlers, port) }
 
 // Send transmits payload to (dst, dstPort) through the simulated network.
+// The payload is consumed synchronously — deliver copies the bytes it
+// needs into a pooled buffer before returning — so the caller may reuse
+// its buffer (e.g. a reset wire.Writer) immediately, and a lost or
+// dead-destination message costs no copy at all.
 func (n *Node) Send(dst vri.Addr, dstPort vri.Port, payload []byte, ack vri.AckFunc) {
 	if !n.alive {
 		return
 	}
-	// Copy the payload: the caller may reuse its buffer, and a real
-	// network would serialize at send time.
-	p := make([]byte, len(payload))
-	copy(p, payload)
-	n.env.deliver(n, dst, dstPort, p, ack)
+	n.env.deliver(n, dst, dstPort, payload, ack)
 }
 
 // Logf emits a trace line attributed to this node and virtual time.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -54,6 +53,12 @@ type shard struct {
 	out    [][]*event
 	outEnv []*event
 
+	// pool recycles events and payload buffers. Touched only by this
+	// shard's worker while a window executes (allocation for events this
+	// shard's nodes schedule, recycling for events this shard
+	// dispatches), so it is lock-free by ownership.
+	pool pool
+
 	events, msgs, bytes uint64
 	lastAt              time.Time
 }
@@ -87,7 +92,7 @@ func (e *Env) SetWorkers(k int) {
 	}
 	if k <= 0 {
 		e.queue = pending
-		heap.Init(&e.queue)
+		e.queue.reinit()
 		return
 	}
 	la := e.opts.Topology.MinLatency()
@@ -104,9 +109,9 @@ func (e *Env) SetWorkers(k int) {
 	e.par = p
 	for _, ev := range pending {
 		if ev.node != nil {
-			heap.Push(&p.shards[ev.node.shard].heap, ev)
+			p.shards[ev.node.shard].heap.push(ev)
 		} else {
-			heap.Push(&e.queue, ev)
+			e.queue.push(ev)
 		}
 	}
 }
@@ -119,67 +124,35 @@ func (e *Env) Workers() int {
 	return e.par.k
 }
 
-// schedule routes one event in sharded mode. During a window it may only
-// be called from the worker that owns src; src == nil implies driver
-// context (coordinator), which is safe because workers are parked.
-func (p *parEngine) schedule(e *Env, src *Node, at time.Time, target *Node, fn func()) *event {
-	var base time.Time
-	if src != nil && p.inWindow {
-		base = src.now
-	} else {
-		base = e.now
-	}
-	if at.Before(base) {
-		at = base
-	}
-	ev := &event{at: at, node: target, fn: fn}
-	if src != nil {
-		src.srcSeq++
-		ev.src, ev.seq = src.id, src.srcSeq
-	} else {
-		e.seq++
-		ev.seq = e.seq
-	}
-	if p.inWindow && src != nil {
-		sh := p.shards[src.shard]
-		switch {
-		case target == nil:
-			sh.outEnv = append(sh.outEnv, ev)
-		case target.shard == src.shard:
-			heap.Push(&sh.heap, ev)
-		default:
-			sh.out[target.shard] = append(sh.out[target.shard], ev)
-		}
-		return ev
-	}
-	// Coordinator context: workers are parked, every heap is safe.
-	if target != nil {
-		heap.Push(&p.shards[target.shard].heap, ev)
-	} else {
-		heap.Push(&e.queue, ev)
-	}
-	return ev
-}
+// Event routing in sharded mode lives in Env.newEvent/Env.enqueue
+// (env.go): during a window a worker stamps events from its own nodes
+// (clock base src.now, the shard's pool) and routes cross-shard targets
+// through outbox lanes; in coordinator context workers are parked and
+// every heap is safe to push directly.
 
-// dispatchWindow pops and runs this shard's events with at < end.
-func (sh *shard) dispatchWindow(end time.Time) {
+// dispatchWindow pops and runs this shard's events with at < end,
+// recycling each into the shard's pool after dispatch or discard.
+func (sh *shard) dispatchWindow(e *Env, end time.Time) {
 	for len(sh.heap) > 0 {
 		top := sh.heap[0]
 		if !top.at.Before(end) {
 			break
 		}
-		heap.Pop(&sh.heap)
+		sh.heap.pop()
 		if top.cancelled {
+			sh.pool.putEvent(top)
 			continue
 		}
 		n := top.node
 		if !n.alive {
+			sh.pool.putEvent(top)
 			continue
 		}
 		n.now = top.at
 		sh.lastAt = top.at
 		sh.events++
-		top.fn()
+		e.dispatch(top)
+		sh.pool.putEvent(top)
 	}
 }
 
@@ -191,7 +164,7 @@ func (sh *shard) mergeInbound(shards []*shard) {
 	for _, from := range shards {
 		lane := from.out[sh.id]
 		for _, ev := range lane {
-			heap.Push(&sh.heap, ev)
+			sh.heap.push(ev)
 		}
 		from.out[sh.id] = lane[:0]
 	}
@@ -230,7 +203,7 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 					if end.IsZero() { // merge phase
 						sh.mergeInbound(p.shards)
 					} else {
-						sh.dispatchWindow(end)
+						sh.dispatchWindow(e, end)
 					}
 					done <- struct{}{}
 				}
@@ -247,7 +220,7 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 			if end.IsZero() {
 				p.shards[0].mergeInbound(p.shards)
 			} else {
-				p.shards[0].dispatchWindow(end)
+				p.shards[0].dispatchWindow(e, end)
 			}
 			return
 		}
@@ -288,8 +261,9 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 			if !drain && gmin.After(deadline) {
 				break
 			}
-			ev := heap.Pop(&e.queue).(*event)
+			ev := e.queue.pop()
 			if ev.cancelled {
+				e.pool.putEvent(ev)
 				continue
 			}
 			if ev.at.After(e.now) {
@@ -297,12 +271,14 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 			}
 			if ev.node != nil {
 				if !ev.node.alive {
+					e.pool.putEvent(ev)
 					continue
 				}
 				ev.node.now = ev.at
 			}
 			e.events++
-			ev.fn()
+			e.dispatch(ev)
+			e.pool.putEvent(ev)
 			continue
 		}
 		if !drain && nmin.After(deadline) {
@@ -325,7 +301,7 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 		// clock: both are coordinator work.
 		for _, sh := range p.shards {
 			for _, ev := range sh.outEnv {
-				heap.Push(&e.queue, ev)
+				e.queue.push(ev)
 			}
 			sh.outEnv = sh.outEnv[:0]
 			if sh.lastAt.After(e.now) {

@@ -41,6 +41,13 @@ const (
 type AckFunc func(ok bool)
 
 // MessageHandler receives inbound datagrams, mirroring handleUDP.
+//
+// Ownership: payload is only valid for the duration of the handler call.
+// Runtimes may recycle the buffer as soon as the handler returns (the
+// Simulation Environment pools delivery buffers), so a handler must copy
+// any bytes it retains — decoding with wire.Reader already does this for
+// strings, and aliasing reads like Reader.Bytes32 must be copied before
+// they escape the handler.
 type MessageHandler func(src Addr, payload []byte)
 
 // Timer is a cancellable scheduled event, returned by Schedule.
@@ -79,7 +86,11 @@ type Runtime interface {
 	// Send transmits payload to (dst, dstPort) reliably but unordered.
 	// ack, if non-nil, is invoked exactly once on this node's event loop
 	// with the delivery outcome (Table 1: send/handleUDPAck). Send never
-	// blocks; marshaling and transmission happen asynchronously.
+	// blocks; transmission happens asynchronously, but the payload
+	// buffer is consumed synchronously — every runtime copies or encodes
+	// the bytes it needs before Send returns, so callers may immediately
+	// reuse the buffer (the reset-a-scratch-wire.Writer idiom the
+	// overlay and query processor use on their hot send paths).
 	Send(dst Addr, dstPort Port, payload []byte, ack AckFunc)
 
 	// Rand returns this node's deterministic random source. Under

@@ -41,6 +41,15 @@ func NewWriter(capacity int) *Writer {
 // Bytes returns the encoded message. The slice aliases the Writer's
 // internal buffer; the caller must not keep writing through the Writer
 // while holding it.
+//
+// The scratch-writer idiom on hot send paths leans on this aliasing
+// plus the vri.Runtime.Send contract (payloads are consumed
+// synchronously): encode into a long-lived Writer, hand Bytes straight
+// to Send, then Reset and reuse the same buffer for the next message —
+// zero allocation per message. The handoff is strict: bytes that must
+// survive an asynchronous boundary (retained in a callback, a struct,
+// or a pending-request table) must be copied or encoded into their own
+// Writer, because the next Reset invalidates them.
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of encoded bytes so far.
