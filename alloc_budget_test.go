@@ -50,3 +50,47 @@ func TestEventThroughputAllocBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryStormAllocBudget is the multi-tenant twin of the gate above:
+// it runs the BenchmarkQueryStormDispatch body — Q concurrent continuous
+// queries fed by a fixed publish load — and fails if allocs/op exceeds
+// the checked-in budget. The budgets are equal across Q on purpose: the
+// shared table bus decodes once and fans shared read-only tuples out
+// allocation-free, so per-QUERY-per-event allocations show up as the
+// queries=64 row outgrowing queries=1 long before it reaches the cap.
+func TestQueryStormAllocBudget(t *testing.T) {
+	if os.Getenv("PIER_ALLOC_BUDGET") == "" {
+		t.Skip("set PIER_ALLOC_BUDGET=1 to enforce the allocation budget")
+	}
+	raw, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatalf("reading budget file: %v", err)
+	}
+	var budget struct {
+		QueryStormAllocsPerOp map[string]int64 `json:"query_storm_allocs_per_op"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatalf("parsing alloc_budget.json: %v", err)
+	}
+	if len(budget.QueryStormAllocsPerOp) == 0 {
+		t.Fatal("alloc_budget.json carries no query_storm_allocs_per_op entries")
+	}
+	for _, queries := range []int{1, 16, 64} {
+		queries := queries
+		key := fmt.Sprintf("queries=%d", queries)
+		limit, ok := budget.QueryStormAllocsPerOp[key]
+		if !ok {
+			t.Errorf("alloc_budget.json has no query-storm budget for %s", key)
+			continue
+		}
+		res := testing.Benchmark(func(b *testing.B) { runQueryStorm(b, queries) })
+		got := res.AllocsPerOp()
+		t.Logf("%s: %d allocs/op (budget %d), %d B/op, %s",
+			key, got, limit, res.AllocedBytesPerOp(), res.String())
+		if got > limit {
+			t.Errorf("%s: %d allocs/op exceeds the checked-in budget of %d — per-query-per-event "+
+				"allocations crept into the multi-tenant dispatch path; if intentional, justify it and "+
+				"raise alloc_budget.json in the same change", key, got, limit)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"pier/internal/overlay"
 	"pier/internal/sim"
 	"pier/internal/tuple"
+	"pier/internal/ufl"
 	"pier/internal/vri"
 	"pier/internal/wire"
 )
@@ -454,5 +455,83 @@ func runEventThroughput(b *testing.B, workers int) {
 	ev, _, _ := env.Stats()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(ev-start)/secs, "events/s")
+	}
+}
+
+// BenchmarkQueryStormDispatch measures the multi-tenant newData hot path:
+// an 8-node cluster runs `queries` concurrent continuous queries over one
+// table while every node publishes a steady local event stream. Each
+// benchmark iteration advances 100 ms of virtual time, so allocs/op is
+// the allocation cost of a fixed publish load under Q-way query fan-out —
+// the per-query-per-event quantity the shared table bus (decode-once,
+// shared read-only tuples) keeps near-flat in Q. The checked-in budget in
+// alloc_budget.json gates it (TestQueryStormAllocBudget) the same way the
+// scheduler storm gates the per-event path.
+func BenchmarkQueryStormDispatch(b *testing.B) {
+	for _, queries := range []int{1, 16, 64} {
+		queries := queries
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			runQueryStorm(b, queries)
+		})
+	}
+}
+
+// runQueryStorm is the storm body shared by the benchmark above and the
+// allocation-budget regression test.
+func runQueryStorm(b *testing.B, queries int) {
+	const (
+		nodeCount = 8
+		tick      = 25 * time.Millisecond
+		slice     = 100 * time.Millisecond
+	)
+	b.ReportAllocs()
+	env := sim.NewEnv(sim.Options{Seed: 1})
+	nodes := experiments.BuildCluster(env, nodeCount, "n")
+	// Continuous queries whose Select never matches: the measured cost is
+	// pure dispatch (decode-once + Q pushes + predicate eval), with no
+	// result forwarding noise.
+	for i := 0; i < queries; i++ {
+		plan := ufl.MustParse(fmt.Sprintf(`
+query storm%d timeout 4h
+opgraph g disseminate broadcast {
+    src = NewData(table='fwlogs')
+    sel = Select(pred='severity > 99')
+    sel <- src
+}
+`, i))
+		if err := nodes[i%len(nodes)].Submit(plan, "bench", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env.Run(5 * time.Second) // all graphs live before the stream starts
+	// One pre-built tuple per node, republished each tick: the measured
+	// path is publish → store → decode-once → Q-way fan-out.
+	for i, n := range nodes {
+		n := n
+		t := tuple.New("fwlogs").
+			Set("src", tuple.String(fmt.Sprintf("10.0.0.%d", i))).
+			Set("severity", tuple.Int(int64(i%5)))
+		var tickFn func()
+		tickFn = func() {
+			n.PublishLocal("fwlogs", t, time.Hour)
+			n.Runtime().Schedule(tick, tickFn)
+		}
+		n.Runtime().Schedule(time.Duration(i)*time.Microsecond, tickFn)
+	}
+	env.Run(slice) // warm the storm before timing
+	start, _, _ := env.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Run(slice)
+	}
+	b.StopTimer()
+	ev, _, _ := env.Stats()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ev-start)/secs, "events/s")
+	}
+	for _, n := range nodes {
+		if st := n.Stats(); st.MalformedDrops != 0 {
+			b.Fatalf("storm dropped tuples as malformed: %+v", st)
+		}
 	}
 }

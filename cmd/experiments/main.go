@@ -60,9 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.Int("fig", 0, "figure to reproduce (1 or 2)")
-	ablation := fs.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|churnagg|all)")
+	ablation := fs.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|churnagg|qstorm|all)")
 	nodes := fs.Int("nodes", 0, "override deployment size")
-	queries := fs.Int("queries", 0, "override query count (figure 1)")
+	queries := fs.Int("queries", 0, "override query count (figure 1 / qstorm concurrency)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulator worker shards (0 = sequential scheduler; results are identical for any count)")
 	ckptSave := fs.String("checkpoint-save", "", "after building the cluster, save the converged ring to this file")
@@ -219,6 +219,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, experiments.RunDissemination(experiments.DisseminationConfig{
 				Workers: *workers, Warm: warm, Seed: *seed,
 			}).Render())
+		case "qstorm":
+			fmt.Fprintln(stdout, "=== Scale: concurrent-query storm (multi-tenant query runtime) ===")
+			start := time.Now()
+			res := experiments.RunQStorm(experiments.QStormConfig{
+				Nodes: *nodes, Queries: *queries, Workers: *workers, Warm: warm, Seed: *seed,
+			})
+			wall := time.Since(start)
+			fmt.Fprint(stdout, res.Render())
+			// Wall-clock-derived rates go to stderr so stdout stays
+			// bit-comparable across worker counts (the determinism
+			// contract every harness holds).
+			if secs := wall.Seconds(); secs > 0 {
+				fmt.Fprintf(stderr, "qstorm wall %v, %.0f events/s\n", wall.Round(time.Millisecond), float64(res.Events)/secs)
+			}
 		case "churnagg":
 			if *ckptSave != "" || *ckptLoad != "" {
 				fmt.Fprintln(stderr, "note: churnagg builds no DHT ring; checkpoint flags ignored")

@@ -720,8 +720,7 @@ func RunDissemination(cfg DisseminationConfig) DisseminationResult {
 		_, m1, _ := env.Stats()
 		executed := 0
 		for _, n := range nodes {
-			g, _ := n.Stats()
-			executed += int(g)
+			executed += int(n.Stats().GraphsExecuted)
 		}
 		return executed, m1 - m0
 	}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pier/internal/qp"
+	"pier/internal/sim"
+	"pier/internal/tuple"
+	"pier/internal/ufl"
+	"pier/internal/workload"
+)
+
+// QStorm is the multi-tenant scale scenario: N nodes serving Q
+// CONCURRENT continuous aggregation queries over the firewall workload —
+// the "many simultaneous users" operating point PIER is pitched at
+// (§3.3.2's opgraph model assumes hundreds of coexisting continuous
+// queries) that no other harness in this repo exercises. Every query is
+// a broadcast-disseminated continuous count over the fwlogs stream with
+// a periodic flush, so the run stresses exactly the multi-tenant runtime
+// paths:
+//
+//   - Q structurally identical NewData access methods per node share ONE
+//     overlay subscription and ONE decode per publish (table bus) — the
+//     per-publish dispatch cost the report compares against the
+//     per-subscriber-decode baseline of Q decodes per publish;
+//   - all Q queries' flush timers coalesce onto one wheel slot per node
+//     — flush timer events per period drop from Q·nodes to nodes;
+//   - queries submitted through one proxy within the dissemination batch
+//     window ride one distribution-tree frame instead of Q broadcasts;
+//   - the MaxLiveGraphs admission cap (when set) sheds load with
+//     explicit reject acks instead of growing without bound.
+//
+// The harness follows the sharded-safe collector discipline (ROADMAP):
+// event publishing runs as per-node agent ticks using per-node
+// generators, results accumulate in per-proxy qp.ResultSets, and the
+// driver reads everything between Env.Run calls — so the result is
+// bit-identical for any worker count.
+
+// QStormConfig parameterizes the storm.
+type QStormConfig struct {
+	// Nodes is the deployment size. Default 24.
+	Nodes int
+	// Queries is the number of concurrent continuous queries (the storm
+	// axis: the acceptance sweep is Q ∈ {10, 100, 1000}). Default 100.
+	Queries int
+	// FlushEvery is each query's continuous-emission period. Default 5s.
+	FlushEvery time.Duration
+	// Duration is the event-publishing window. Default 20s.
+	Duration time.Duration
+	// EventsPerNode is how many firewall events each node publishes
+	// locally over the window. Default 40.
+	EventsPerNode int
+	// Sources is the firewall source-IP population. Default 64.
+	Sources int
+	// MaxLiveGraphs, when >0, applies the admission cap to every node.
+	MaxLiveGraphs int
+	// Workers selects the scheduler (0 = sequential).
+	Workers int
+	// Warm selects the cluster warm-start path (checkpoint save/load).
+	Warm WarmStart
+	Seed int64
+}
+
+func (c *QStormConfig) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 24
+	}
+	if c.Queries <= 0 {
+		c.Queries = 100
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 5 * time.Second
+	}
+	if c.Duration <= 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.EventsPerNode <= 0 {
+		c.EventsPerNode = 40
+	}
+	if c.Sources <= 0 {
+		c.Sources = 64
+	}
+}
+
+// QStormResult is the deterministic outcome of one storm run. Every
+// field is workers-invariant; wall-clock-derived rates are reported by
+// the caller on stderr, never here (the bit-identical-stdout contract).
+type QStormResult struct {
+	Nodes, Queries int
+	// Submitted/Completed track the query population end to end.
+	Submitted, Completed int
+	// ResultRows is the total result tuples delivered to proxies.
+	ResultRows int
+	// Publishes is the number of firewall events published (nodes ×
+	// events per node).
+	Publishes uint64
+	// Decodes is the number of newData tuple decodes actually performed
+	// across the cluster — the decode-once cost. DecodeBaseline is the
+	// counterfactual under per-subscriber decoding (each publish decoded
+	// once per subscribed query, the pre-bus behavior): publishes × live
+	// queries.
+	Decodes, DecodeBaseline uint64
+	// FlushTimerFires is the number of coalesced wheel timer events;
+	// FlushBaseline is the counterfactual one-timer-per-graph cost (one
+	// timer event per graph flush performed, i.e. GraphFlushes).
+	FlushTimerFires, FlushBaseline uint64
+	// BatchFrames / BatchedGraphs measure dissemination batching: graphs
+	// per tree frame is the amortization factor.
+	BatchFrames, BatchedGraphs uint64
+	// PeakLiveGraphs / PeakSubscriptions sample the cluster-wide live
+	// population right after submission settles.
+	PeakLiveGraphs, PeakSubscriptions int
+	// PeakSharedSubs is the cluster-wide count of shared access-method
+	// subscriptions backing those attachments (nodes × distinct access
+	// signatures — here 1 per node).
+	PeakSharedSubs int
+	// Rejected counts opgraphs refused by admission control; RejectAcks
+	// the refusal acks observed at proxies.
+	Rejected, RejectAcks uint64
+	// Malformed counts decode failures (the qstorm acceptance asserts 0).
+	Malformed uint64
+	// LeakedSubscriptions / LeakedGraphs must be 0 after every query has
+	// torn down — the 10k-queries-no-leak property at scenario scale.
+	LeakedSubscriptions, LeakedGraphs int
+	// Events / Msgs are simulator-wide totals for the determinism diff.
+	Events, Msgs uint64
+}
+
+// Render formats the deterministic report (stdout-safe: no wall clock).
+func (r QStormResult) Render() string {
+	decodeFactor := float64(0)
+	if r.Decodes > 0 {
+		decodeFactor = float64(r.DecodeBaseline) / float64(r.Decodes)
+	}
+	flushFactor := float64(0)
+	if r.FlushTimerFires > 0 {
+		flushFactor = float64(r.FlushBaseline) / float64(r.FlushTimerFires)
+	}
+	graphsPerFrame := float64(0)
+	if r.BatchFrames > 0 {
+		graphsPerFrame = float64(r.BatchedGraphs) / float64(r.BatchFrames)
+	}
+	return fmt.Sprintf(
+		"nodes=%d queries=%d submitted=%d completed=%d result-rows=%d\n"+
+			"publishes=%d decodes=%d (per-subscriber baseline %d, %.1fx less decode work)\n"+
+			"flush timer events=%d for %d graph flushes (per-graph baseline %d, %.1fx fewer timer events)\n"+
+			"dissemination: frames=%d graphs=%d (%.1f graphs/frame)\n"+
+			"peak: live-graphs=%d subscriptions=%d shared-subs=%d\n"+
+			"admission: rejected=%d reject-acks=%d  malformed=%d\n"+
+			"teardown leaks: subscriptions=%d graphs=%d\n"+
+			"traffic: events=%d msgs=%d\n",
+		r.Nodes, r.Queries, r.Submitted, r.Completed, r.ResultRows,
+		r.Publishes, r.Decodes, r.DecodeBaseline, decodeFactor,
+		r.FlushTimerFires, r.FlushBaseline, r.FlushBaseline, flushFactor,
+		r.BatchFrames, r.BatchedGraphs, graphsPerFrame,
+		r.PeakLiveGraphs, r.PeakSubscriptions, r.PeakSharedSubs,
+		r.Rejected, r.RejectAcks, r.Malformed,
+		r.LeakedSubscriptions, r.LeakedGraphs,
+		r.Events, r.Msgs)
+}
+
+// qstormPublisher is one node's event source: a pre-bound tick that
+// publishes firewall events from the node's OWN generator (driver-shared
+// state would break the sharded discipline) until its quota is spent.
+type qstormPublisher struct {
+	n        *qp.Node
+	gen      *workload.FirewallGen
+	interval time.Duration
+	left     int
+	tickFn   func()
+}
+
+func (p *qstormPublisher) tick() {
+	if p.left <= 0 {
+		return
+	}
+	p.left--
+	ev := p.gen.Next(p.n.Runtime().Now())
+	p.n.PublishLocal("fwlogs", tuple.New("fwlogs").
+		Set("src", tuple.String(ev.Src)).
+		Set("dstport", tuple.Int(int64(ev.DstPort))).
+		Set("severity", tuple.Int(int64(ev.Severity))), 4*time.Hour)
+	if p.left > 0 {
+		p.n.Runtime().Schedule(p.interval, p.tickFn)
+	}
+}
+
+// RunQStorm executes the storm and returns its deterministic outcome.
+func RunQStorm(cfg QStormConfig) QStormResult {
+	cfg.fill()
+	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
+	env.SetWorkers(cfg.Workers)
+	nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
+	if cfg.MaxLiveGraphs > 0 {
+		for _, n := range nodes {
+			n.SetMaxLiveGraphs(cfg.MaxLiveGraphs)
+		}
+	}
+
+	// Publishers lead the queries by this much so every graph is live
+	// before the first event lands (dissemination is sub-second; the
+	// margin keeps the decode accounting exact at any scale).
+	const lead = 2 * time.Second
+	timeout := lead + cfg.Duration + time.Second
+
+	// Submit Q structurally identical continuous aggregation queries,
+	// round-robin across proxies. All submissions happen at this one
+	// barrier, so each proxy coalesces its share into one batch frame.
+	results := make([]*qp.ResultSet, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		plan := ufl.MustParse(fmt.Sprintf(`
+query qs%d timeout %s
+opgraph g disseminate broadcast {
+    src = NewData(table='fwlogs')
+    agg = GroupBy(aggs='count(*) as cnt', flushevery='%s')
+    out = Result()
+    agg <- src
+    out <- agg
+}
+`, i, timeout, cfg.FlushEvery))
+		rs, err := nodes[i%len(nodes)].SubmitCollect(plan, "qstorm")
+		if err != nil {
+			panic(err)
+		}
+		results = append(results, rs)
+	}
+
+	// Arm the per-node publishers (node-owned generators and clocks).
+	interval := cfg.Duration / time.Duration(cfg.EventsPerNode)
+	for i, n := range nodes {
+		p := &qstormPublisher{
+			n:        n,
+			gen:      workload.NewFirewallGen(cfg.Seed+100+int64(i), cfg.Sources, 1.2),
+			interval: interval,
+			left:     cfg.EventsPerNode,
+		}
+		p.tickFn = p.tick
+		n.Runtime().Schedule(lead+time.Duration(i*131)*time.Microsecond, p.tickFn)
+	}
+
+	// Let dissemination settle, then sample the live population at a
+	// barrier (peak concurrency), then run out the storm.
+	env.Run(lead)
+	res := QStormResult{Nodes: cfg.Nodes, Queries: cfg.Queries, Submitted: cfg.Queries}
+	liveQueriesTotal := uint64(0)
+	for _, n := range nodes {
+		st := n.Stats()
+		res.PeakLiveGraphs += st.LiveGraphs
+		res.PeakSubscriptions += st.Subscriptions
+		res.PeakSharedSubs += st.SharedSubscriptions
+		liveQueriesTotal += uint64(st.LiveGraphs)
+	}
+
+	env.Run(cfg.Duration + 2*time.Second + 10*time.Second) // storm + grace + teardown
+
+	for _, rs := range results {
+		res.ResultRows += rs.Len()
+		if rs.Done() {
+			res.Completed++
+		}
+	}
+	res.Publishes = uint64(cfg.Nodes * cfg.EventsPerNode)
+	for _, n := range nodes {
+		st := n.Stats()
+		res.Decodes += st.Decodes
+		res.FlushTimerFires += st.FlushTimerFires
+		res.FlushBaseline += st.GraphFlushes
+		res.BatchFrames += st.BatchFrames
+		res.BatchedGraphs += st.BatchedGraphs
+		res.Rejected += st.GraphsRejected
+		res.RejectAcks += st.RejectAcks
+		res.Malformed += st.MalformedDrops
+		res.LeakedSubscriptions += st.Subscriptions
+		res.LeakedGraphs += st.LiveGraphs
+	}
+	// The per-subscriber-decode counterfactual: every publish decoded
+	// once per query-level subscriber on the publishing node. Each node
+	// publishes exactly EventsPerNode events to its own live graphs, so
+	// the exact total is Σ_node EventsPerNode·live(node) =
+	// EventsPerNode·Σlive — no division, exact for uneven admission too.
+	res.DecodeBaseline = uint64(cfg.EventsPerNode) * liveQueriesTotal
+	res.Events, res.Msgs, _ = env.Stats()
+	return res
+}

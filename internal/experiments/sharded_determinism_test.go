@@ -145,3 +145,38 @@ func TestDisseminationShardedMatchesSequential(t *testing.T) {
 		t.Fatal("degenerate run: broadcast reached nobody")
 	}
 }
+
+func TestQStormShardedMatchesSequential(t *testing.T) {
+	cfg := QStormConfig{
+		Nodes: 10, Queries: 12, FlushEvery: 4 * time.Second,
+		Duration: 12 * time.Second, EventsPerNode: 10, Sources: 24,
+		Seed: 209,
+	}
+	cfg.Workers = 0
+	seq := RunQStorm(cfg)
+	cfg.Workers = 8
+	par := RunQStorm(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("qstorm diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.Completed != cfg.Queries || seq.ResultRows == 0 {
+		t.Fatalf("degenerate run: %+v", seq)
+	}
+	if seq.Malformed != 0 {
+		t.Fatalf("qstorm saw malformed drops: %+v", seq)
+	}
+	if seq.LeakedSubscriptions != 0 || seq.LeakedGraphs != 0 {
+		t.Fatalf("qstorm leaked runtime state: %+v", seq)
+	}
+	// The multi-tenant invariants at small scale: decode work and flush
+	// timer events must be ~Q-fold below their per-query baselines.
+	if seq.Decodes != seq.Publishes {
+		t.Fatalf("decode-once violated: %d decodes for %d publishes", seq.Decodes, seq.Publishes)
+	}
+	if seq.DecodeBaseline != seq.Publishes*uint64(cfg.Queries) {
+		t.Fatalf("baseline accounting off: %+v", seq)
+	}
+	if seq.FlushTimerFires*uint64(cfg.Queries) != seq.FlushBaseline {
+		t.Fatalf("flush coalescing off: fires=%d baseline=%d", seq.FlushTimerFires, seq.FlushBaseline)
+	}
+}

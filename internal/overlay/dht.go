@@ -43,7 +43,7 @@ type DHT struct {
 	router *router
 	store  *objectManager
 
-	newData map[string][]func(Object)
+	subs    *subRegistry
 	upcalls map[string]UpcallFunc
 
 	started bool
@@ -56,7 +56,7 @@ func New(rt vri.Runtime, cfg Config) *DHT {
 		rt:      rt,
 		router:  newRouter(rt, cfg.Router),
 		store:   newObjectManager(rt, cfg.MaxLifetime, cfg.SweepInterval),
-		newData: make(map[string][]func(Object)),
+		subs:    newSubRegistry(),
 		upcalls: make(map[string]UpcallFunc),
 	}
 	d.router.deliver = d.deliverRouted
@@ -276,11 +276,10 @@ func (d *DHT) LocalCount(namespace string) int { return d.store.count(namespace)
 
 // OnNewData registers fn to run whenever a new object in namespace
 // arrives at this node (Table 2: newData/handleNewData). It returns an
-// unsubscribe function.
+// unsubscribe function. It is a thin wrapper over Subscribe; cancel
+// releases the registry slot (no leak — see subs.go).
 func (d *DHT) OnNewData(namespace string, fn func(Object)) (cancel func()) {
-	d.newData[namespace] = append(d.newData[namespace], fn)
-	idx := len(d.newData[namespace]) - 1
-	return func() { d.newData[namespace][idx] = nil }
+	return d.Subscribe(namespace, fn).Cancel
 }
 
 // OnUpcall registers fn to intercept routed sends for namespace passing
@@ -290,14 +289,11 @@ func (d *DHT) OnUpcall(namespace string, fn UpcallFunc) {
 	d.upcalls[namespace] = fn
 }
 
-// storeLocal stores obj here and fires newData callbacks.
+// storeLocal stores obj here and dispatches it through the subscription
+// registry (decode-once, deterministic order — see subs.go).
 func (d *DHT) storeLocal(obj Object) {
 	d.store.put(obj)
-	for _, fn := range d.newData[obj.Namespace] {
-		if fn != nil {
-			fn(obj)
-		}
-	}
+	d.subs.dispatch(obj)
 }
 
 // routeUpcall is the router's per-hop interception hook.

@@ -1,0 +1,237 @@
+package overlay
+
+import (
+	"pier/internal/tuple"
+)
+
+// The newData subscription registry (Table 2: newData/handleNewData at
+// multi-query scale). PIER is a query processor for many simultaneous
+// users (§3.3.2), so a namespace routinely carries hundreds of live
+// subscriptions — one per continuous query scanning the table — and the
+// registry is built for that population:
+//
+//   - O(1) amortized add and remove. Cancelling a subscription never
+//     leaves a permanent hole: dead entries are compacted away once they
+//     outnumber live ones, so a node that opens and closes 10k queries
+//     ends exactly where it started (no leak, unlike the append-only
+//     callback slice this replaces).
+//   - Deterministic dispatch order: subscribers run in subscription
+//     order, which under the sharded scheduler is fixed by the node's
+//     event order — the property every harness's bit-identical-results
+//     contract rests on.
+//   - Decode-once tuple handoff: an arriving object's payload is decoded
+//     into a *tuple.Tuple at most once per arrival, and the SAME tuple is
+//     handed to every tuple subscriber. The handoff is read-only by
+//     contract (see below); per-subscriber decoding made the dispatch
+//     cost of a publish O(subscribers × decode) instead of O(decode +
+//     subscribers).
+//
+// Ownership/handoff contract (the registry-side companion of the PR 4
+// payload rules in messages.go): the Object and the decoded tuple handed
+// to a subscriber are SHARED — every other subscriber of the namespace
+// receives the same values, and the store retains the Object's bytes.
+// Subscribers must treat both as read-only; a dataflow that needs a
+// mutated variant builds a new tuple (exec operators already do: Project
+// and Join construct fresh tuples, aggregation folds values into its own
+// state). Retaining the tuple past the handler is allowed — tuples are
+// immutable under this contract — but retaining obj.Data aliases the
+// store's copy and must be copied first.
+//
+// Re-entrancy semantics, pinned by tests in subs_test.go:
+//
+//   - Cancel from within a dispatch takes effect immediately: the
+//     cancelled subscriber (if not yet visited) is skipped for the
+//     in-flight object.
+//   - Subscribe from within a dispatch (or during a catch-up LocalScan)
+//     does NOT see the in-flight object; delivery starts with the next
+//     arrival.
+//   - Dispatch may nest (a handler's PutLocal on the same node triggers
+//     another dispatch synchronously); compaction is deferred until the
+//     outermost dispatch unwinds.
+
+// Subscription is a live newData registration. Cancel is O(1) and
+// idempotent.
+type Subscription struct {
+	ns   *nsSubs
+	reg  *subRegistry
+	fn   func(Object)
+	tfn  func(Object, *tuple.Tuple)
+	dead bool
+}
+
+// Cancel removes the subscription. Safe to call from within a dispatch
+// (the subscriber is skipped for the in-flight object) and safe to call
+// more than once.
+func (s *Subscription) Cancel() {
+	if s == nil || s.dead {
+		return
+	}
+	s.dead = true
+	s.ns.deadN++
+	s.reg.live--
+	s.reg.compact(s.ns)
+}
+
+// nsSubs is one namespace's subscriber list, in subscription order.
+type nsSubs struct {
+	name  string
+	subs  []*Subscription
+	deadN int
+	depth int // >0 while dispatching; defers compaction and map removal
+}
+
+// subRegistry holds every namespace's subscribers plus the dispatch
+// counters surfaced through SubscriptionStats.
+type subRegistry struct {
+	byNS map[string]*nsSubs
+	live int
+
+	dispatches uint64 // objects dispatched to >=1 subscriber's namespace
+	decodes    uint64 // tuple decodes performed (at most one per arrival)
+	malformed  uint64 // arrivals whose payload failed tuple decode
+}
+
+func newSubRegistry() *subRegistry {
+	return &subRegistry{byNS: make(map[string]*nsSubs)}
+}
+
+func (r *subRegistry) add(namespace string, fn func(Object), tfn func(Object, *tuple.Tuple)) *Subscription {
+	ns := r.byNS[namespace]
+	if ns == nil {
+		ns = &nsSubs{name: namespace}
+		r.byNS[namespace] = ns
+	}
+	s := &Subscription{ns: ns, reg: r, fn: fn, tfn: tfn}
+	ns.subs = append(ns.subs, s)
+	r.live++
+	return s
+}
+
+// dispatch delivers obj to every live subscriber of its namespace, in
+// subscription order, decoding the payload at most once.
+func (r *subRegistry) dispatch(obj Object) {
+	ns := r.byNS[obj.Namespace]
+	if ns == nil {
+		return
+	}
+	r.dispatches++
+	ns.depth++
+	var t *tuple.Tuple
+	decoded := false
+	// Snapshot the length: subscribers added during this dispatch start
+	// with the next arrival.
+	limit := len(ns.subs)
+	for i := 0; i < limit; i++ {
+		s := ns.subs[i]
+		if s.dead {
+			continue
+		}
+		if s.tfn == nil {
+			s.fn(obj)
+			continue
+		}
+		if !decoded {
+			decoded = true
+			r.decodes++
+			tt, err := tuple.Decode(obj.Data)
+			if err != nil {
+				r.malformed++
+			} else {
+				t = tt
+			}
+		}
+		if t != nil {
+			s.tfn(obj, t)
+		}
+	}
+	ns.depth--
+	r.compact(ns)
+}
+
+// compact reclaims dead entries once they outnumber live ones and drops
+// the namespace when nobody is left. Deferred while a dispatch is on the
+// stack so an in-flight iteration never sees the slice move under it.
+func (r *subRegistry) compact(ns *nsSubs) {
+	if ns.depth > 0 {
+		return
+	}
+	liveN := len(ns.subs) - ns.deadN
+	if liveN == 0 {
+		delete(r.byNS, ns.name)
+		return
+	}
+	if ns.deadN*2 <= len(ns.subs) {
+		return
+	}
+	kept := ns.subs[:0]
+	for _, s := range ns.subs {
+		if !s.dead {
+			kept = append(kept, s)
+		}
+	}
+	for i := len(kept); i < len(ns.subs); i++ {
+		ns.subs[i] = nil // release for GC
+	}
+	ns.subs = kept
+	ns.deadN = 0
+}
+
+// count returns the live subscriber count for one namespace.
+func (r *subRegistry) count(namespace string) int {
+	ns := r.byNS[namespace]
+	if ns == nil {
+		return 0
+	}
+	return len(ns.subs) - ns.deadN
+}
+
+// SubscriptionStats is the registry's observability surface.
+type SubscriptionStats struct {
+	// Live is the number of currently registered subscriptions across
+	// all namespaces.
+	Live int
+	// Namespaces is the number of namespaces with at least one live
+	// subscriber.
+	Namespaces int
+	// Dispatches counts arrivals delivered into a subscribed namespace.
+	Dispatches uint64
+	// Decodes counts tuple decodes performed — at most one per arrival,
+	// shared by every tuple subscriber (the decode-once contract).
+	Decodes uint64
+	// Malformed counts arrivals whose payload failed tuple decode; tuple
+	// subscribers never see those objects (raw subscribers still do).
+	Malformed uint64
+}
+
+// Subscribe registers fn to receive every new object stored in namespace
+// at this node, as raw Objects. It is the registry-backed generalization
+// of OnNewData: O(1) add/remove and no slot leak on Cancel.
+func (d *DHT) Subscribe(namespace string, fn func(Object)) *Subscription {
+	return d.subs.add(namespace, fn, nil)
+}
+
+// SubscribeTuples registers fn to receive every new object in namespace
+// together with its payload decoded as a PIER tuple. The decode happens
+// at most ONCE per arriving object no matter how many tuple subscribers
+// the namespace has; all of them receive the same shared, read-only
+// *tuple.Tuple (see the handoff contract above). Objects whose payload
+// does not decode are counted in SubscriptionStats.Malformed and not
+// delivered to tuple subscribers.
+func (d *DHT) SubscribeTuples(namespace string, fn func(Object, *tuple.Tuple)) *Subscription {
+	return d.subs.add(namespace, nil, fn)
+}
+
+// Subscribers reports the live newData subscriber count for a namespace.
+func (d *DHT) Subscribers(namespace string) int { return d.subs.count(namespace) }
+
+// SubscriptionStats reports registry-wide subscription and dispatch
+// counters.
+func (d *DHT) SubscriptionStats() SubscriptionStats {
+	return SubscriptionStats{
+		Live:       d.subs.live,
+		Namespaces: len(d.subs.byNS),
+		Dispatches: d.subs.dispatches,
+		Decodes:    d.subs.decodes,
+		Malformed:  d.subs.malformed,
+	}
+}

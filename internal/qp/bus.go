@@ -1,0 +1,143 @@
+package qp
+
+import (
+	"pier/internal/exec"
+	"pier/internal/overlay"
+	"pier/internal/tuple"
+)
+
+// tableBus is the per-node shared table bus: the query-processor side of
+// the multi-tenant newData path. Every live Scan/NewData access method
+// used to register its own DHT subscription and decode arriving objects
+// itself, so a table with Q continuous queries paid Q registry slots and
+// Q decodes per publish. The bus shares both:
+//
+//   - one overlay subscription per distinct access signature — the
+//     (table, only-filter) pair that fully determines delivery semantics;
+//     structurally identical Scan/NewData access methods across queries
+//     (equal ufl signatures) therefore share a single subscription, the
+//     minimal viable form of the multi-query work sharing PIER names as
+//     future work (§3.3.2);
+//   - the decode: the overlay registry decodes once per arrival
+//     (overlay.SubscribeTuples) and the bus fans the SAME *tuple.Tuple
+//     out to every attached query.
+//
+// Handoff contract: tuples crossing the bus are SHARED and READ-ONLY
+// (see the registry contract in internal/overlay/subs.go). Operators
+// that transform tuples build new ones; none may mutate its input.
+//
+// Re-entrancy mirrors the overlay registry: detaching from within a
+// dispatch skips the detached target for the in-flight tuple; attaching
+// from within a dispatch starts with the next arrival; compaction of
+// dead targets is deferred while a dispatch is on the stack.
+type tableBus struct {
+	n       *Node
+	shares  map[busKey]*busShare
+	targets int // live query-level attachments across all shares
+}
+
+// busKey is the access signature of a Scan/NewData subscription: the
+// fields that determine exactly which tuples a subscriber receives.
+type busKey struct {
+	table string
+	only  string
+}
+
+// busShare is one shared subscription and its attached queries, in
+// attachment order (dispatch order is deterministic, like the registry).
+type busShare struct {
+	bus     *tableBus
+	key     busKey
+	sub     *overlay.Subscription
+	targets []*busTarget
+	deadN   int
+	depth   int
+}
+
+// busTarget is one query's attachment to a share.
+type busTarget struct {
+	share   *busShare
+	lg      *liveGraph
+	in      *exec.Input
+	tag     exec.Tag
+	removed bool
+}
+
+func newTableBus(n *Node) *tableBus {
+	return &tableBus{n: n, shares: make(map[busKey]*busShare)}
+}
+
+// attach subscribes a live graph's access-method input to the shared
+// table stream, creating the underlying overlay subscription only for
+// the first attachment of an access signature. The returned cancel is
+// O(1) and idempotent.
+func (b *tableBus) attach(table, only string, lg *liveGraph, tag exec.Tag, in *exec.Input) (cancel func()) {
+	key := busKey{table: table, only: only}
+	sh := b.shares[key]
+	if sh == nil {
+		sh = &busShare{bus: b, key: key}
+		sh.sub = b.n.dht.SubscribeTuples(table, sh.dispatch)
+		b.shares[key] = sh
+	}
+	t := &busTarget{share: sh, lg: lg, in: in, tag: tag}
+	sh.targets = append(sh.targets, t)
+	b.targets++
+	return func() { sh.remove(t) }
+}
+
+// dispatch fans one decoded arrival out to every attached query. The
+// only-filter is evaluated once per share, not once per query.
+func (sh *busShare) dispatch(_ overlay.Object, t *tuple.Tuple) {
+	if sh.key.only != "" && t.Table() != sh.key.only {
+		return
+	}
+	sh.depth++
+	limit := len(sh.targets) // attachments during dispatch miss this tuple
+	for i := 0; i < limit; i++ {
+		tg := sh.targets[i]
+		if tg.removed || tg.lg.closed {
+			continue
+		}
+		tg.in.Push(tg.tag, t)
+	}
+	sh.depth--
+	sh.compact()
+}
+
+func (sh *busShare) remove(t *busTarget) {
+	if t.removed {
+		return
+	}
+	t.removed = true
+	sh.deadN++
+	sh.bus.targets--
+	sh.compact()
+}
+
+// compact reclaims dead targets and retires the share (cancelling the
+// overlay subscription — no leak) when the last query detaches.
+func (sh *busShare) compact() {
+	if sh.depth > 0 {
+		return
+	}
+	liveN := len(sh.targets) - sh.deadN
+	if liveN == 0 {
+		sh.sub.Cancel()
+		delete(sh.bus.shares, sh.key)
+		return
+	}
+	if sh.deadN*2 <= len(sh.targets) {
+		return
+	}
+	kept := sh.targets[:0]
+	for _, t := range sh.targets {
+		if !t.removed {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(sh.targets); i++ {
+		sh.targets[i] = nil
+	}
+	sh.targets = kept
+	sh.deadN = 0
+}

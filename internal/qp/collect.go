@@ -23,6 +23,7 @@ type ResultSet struct {
 	rows    []*tuple.Tuple
 	firstAt time.Time
 	done    bool
+	rejects int
 }
 
 // SubmitCollect runs a query with this node as the proxy, collecting
@@ -43,8 +44,20 @@ func (n *Node) SubmitCollect(q *ufl.Query, clientID string) (*ResultSet, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Reject acks arrive on the proxy's events, like results; the hook
+	// keeps the count in the per-query collector so the driver can
+	// attribute admission-control shedding to individual queries.
+	if ps := n.proxied[q.ID]; ps != nil {
+		ps.onReject = func() { rs.rejects++ }
+	}
 	return rs, nil
 }
+
+// Rejects returns how many admission-control refusal acks the proxy
+// received for this query — one per refused opgraph delivery (a
+// redundant tree delivery to a saturated node can be refused more than
+// once; see qp.NodeStats.GraphsRejected). Driver context only.
+func (rs *ResultSet) Rejects() int { return rs.rejects }
 
 // Rows returns the results collected so far, in arrival order. Driver
 // context only (between runs, or at a window barrier).

@@ -26,6 +26,13 @@ type liveGraph struct {
 	timers  []vri.Timer
 	closed  bool
 
+	// sig is the opgraph's structural signature (ufl), tracked for the
+	// node's sharing statistics.
+	sig uint64
+	// wheelEntry is this graph's registration on the node's coalesced
+	// flush wheel (nil when the graph has no flushevery interval).
+	wheelEntry *wheelEntry
+
 	flushEvery time.Duration
 }
 
@@ -38,6 +45,7 @@ type liveGraph struct {
 func (n *Node) instantiate(rq *runningQuery, g ufl.Opgraph) (*liveGraph, error) {
 	n.tagCounter++
 	lg := &liveGraph{n: n, rq: rq, spec: g, ops: make(map[string]exec.Op), tag: n.tagCounter}
+	lg.sig = g.Signature(rq.id)
 
 	for _, spec := range g.Ops {
 		op, err := lg.buildOp(spec)
@@ -112,22 +120,16 @@ func attachChild(parent exec.Op, slot int, child exec.Op) error {
 	}
 }
 
-// open issues the initial probe on every root and starts periodic
-// flushing for continuous queries.
+// open issues the initial probe on every root and registers on the
+// node's flush wheel for continuous queries: all graphs sharing a
+// flushevery period ride ONE node-level timer instead of arming one
+// each (see wheel.go).
 func (lg *liveGraph) open() {
 	for _, r := range lg.roots {
 		r.Open(lg.tag)
 	}
 	if lg.flushEvery > 0 {
-		var tick func()
-		tick = func() {
-			if lg.closed {
-				return
-			}
-			lg.flush()
-			lg.timers = append(lg.timers, lg.n.rt.Schedule(lg.flushEvery, tick))
-		}
-		lg.timers = append(lg.timers, lg.n.rt.Schedule(lg.flushEvery, tick))
+		lg.wheelEntry = lg.n.wheel.add(lg.flushEvery, lg)
 	}
 }
 
@@ -139,12 +141,22 @@ func (lg *liveGraph) flush() {
 	}
 }
 
-// close releases operators and cancels subscriptions and timers.
+// close releases operators, cancels subscriptions and timers, detaches
+// from the flush wheel, and returns the graph's admission slot.
 func (lg *liveGraph) close() {
 	if lg.closed {
 		return
 	}
 	lg.closed = true
+	lg.n.liveGraphs--
+	if c := lg.n.sigCounts[lg.sig]; c <= 1 {
+		delete(lg.n.sigCounts, lg.sig)
+	} else {
+		lg.n.sigCounts[lg.sig] = c - 1
+	}
+	if lg.wheelEntry != nil {
+		lg.wheelEntry.remove()
+	}
 	for _, c := range lg.cancels {
 		c()
 	}

@@ -19,10 +19,11 @@ import (
 
 // newScan builds the DHT access method for a table namespace: a local
 // scan over objects already stored here (catch-up, §3.3.4 "operators
-// must be capable of catching up when they start") plus a newData
-// subscription for objects arriving afterwards. withScan=false gives the
-// pure NewData variant used for rendezvous namespaces where history is
-// not wanted.
+// must be capable of catching up when they start") plus an attachment to
+// the node's shared table bus for objects arriving afterwards (bus.go:
+// one overlay subscription per access signature, one decode per arrival,
+// shared read-only tuples). withScan=false gives the pure NewData
+// variant used for rendezvous namespaces where history is not wanted.
 //
 // only, when non-empty, keeps just tuples whose self-described table
 // name matches. A join's rehash phase ships both relations into ONE
@@ -30,31 +31,27 @@ import (
 // §3.3.2: "a producer and a consumer in two separate opgraphs are
 // connected using ... a particular namespace within the DHT"); the
 // consuming opgraph separates them again by table name.
+//
+// Malformed stored objects are discarded best-effort but COUNTED: the
+// catch-up path increments the node's scanMalformed, the newData path is
+// counted by the overlay registry; both surface in Node.Stats.
 func (lg *liveGraph) newScan(table string, withScan bool, only string) *exec.Input {
 	in := exec.NewInput()
-	accept := func(tag exec.Tag, o overlay.Object) {
-		t, err := tuple.Decode(o.Data)
-		if err != nil {
-			return // malformed stored object: best-effort discard
-		}
-		if only != "" && t.Table() != only {
-			return
-		}
-		in.Push(tag, t)
-	}
 	in.OnOpen = func(tag exec.Tag) {
 		if withScan {
 			lg.n.dht.LocalScan(table, func(o overlay.Object) bool {
-				accept(tag, o)
+				t, err := tuple.Decode(o.Data)
+				if err != nil {
+					lg.n.scanMalformed.Inc()
+					return true
+				}
+				if only == "" || t.Table() == only {
+					in.Push(tag, t)
+				}
 				return true
 			})
 		}
-		cancel := lg.n.dht.OnNewData(table, func(o overlay.Object) {
-			if !lg.closed {
-				accept(tag, o)
-			}
-		})
-		lg.cancels = append(lg.cancels, cancel)
+		lg.cancels = append(lg.cancels, lg.n.bus.attach(table, only, lg, tag, in))
 	}
 	return in
 }

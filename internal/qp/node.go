@@ -52,6 +52,17 @@ type Config struct {
 	// MaxQueriesPerMinute rate-limits query admission per client id
 	// (§4.1.2); 0 disables limiting.
 	MaxQueriesPerMinute int
+	// MaxLiveGraphs caps the opgraphs concurrently executing at this
+	// node (admission control for multi-query overload): an arriving
+	// opgraph beyond the cap is refused and an explicit reject ack goes
+	// back to the query's proxy, so saturation degrades predictably
+	// instead of exhausting memory. 0 disables the cap.
+	MaxLiveGraphs int
+	// DissemBatchWindow is how long a proxy holds broadcast opgraph
+	// dissemination so queries submitted close together ride ONE
+	// distribution-tree frame (the ufl batch codec) instead of paying a
+	// full tree broadcast each. Default 10ms.
+	DissemBatchWindow time.Duration
 }
 
 func (c *Config) fill() {
@@ -66,6 +77,9 @@ func (c *Config) fill() {
 	}
 	if c.DoneGrace <= 0 {
 		c.DoneGrace = 2 * time.Second
+	}
+	if c.DissemBatchWindow <= 0 {
+		c.DissemBatchWindow = 10 * time.Millisecond
 	}
 }
 
@@ -84,6 +98,24 @@ type Node struct {
 	// proxied holds the queries for which this node is the proxy.
 	proxied map[string]*proxyState
 
+	// bus shares newData subscriptions (and the per-arrival decode)
+	// across every query scanning a table at this node.
+	bus *tableBus
+	// wheel coalesces same-period flush timers onto one timer per node.
+	wheel *flushWheel
+	// liveGraphs counts opgraphs currently executing — the quantity the
+	// MaxLiveGraphs admission cap bounds.
+	liveGraphs int
+	// sigCounts tracks live graphs by structural signature, the sharing
+	// measure surfaced through Stats.
+	sigCounts map[uint64]int
+
+	// Proxy-side dissemination batching: broadcast opgraphs submitted
+	// within DissemBatchWindow accumulate here and ride one tree frame.
+	pendingBatch []ufl.BatchEntry
+	batchTimer   vri.Timer
+	batchFn      func() // pre-bound flush closure
+
 	limiter *rateLimiter
 
 	// tagCounter issues node-local dataflow tags (see instantiate).
@@ -100,6 +132,14 @@ type Node struct {
 	// Stats.
 	graphsExecuted uint64
 	resultsSent    uint64
+	graphsRejected uint64 // executor side: opgraphs refused by the cap
+	rejectAcks     uint64 // proxy side: reject acks received
+	batchFrames    uint64 // dissemination batch frames this proxy sent
+	batchedGraphs  uint64 // opgraphs carried inside those frames
+	// scanMalformed counts stored objects dropped by catch-up LocalScans
+	// because their payload failed tuple decode (the newData-path twin
+	// lives in the overlay registry).
+	scanMalformed exec.Discarded
 }
 
 // runningQuery is the executor-side state of one query at this node.
@@ -118,23 +158,36 @@ type proxyState struct {
 	onDone   func()
 	timer    vri.Timer
 	results  uint64
+	// onReject, if set, runs once per admission-reject ack received for
+	// this query, so callers can tell a partially-admitted query from a
+	// fully-running one.
+	onReject func()
 }
 
 // NewNode creates a PIER node bound to the runtime.
 func NewNode(rt vri.Runtime, cfg Config) *Node {
 	cfg.fill()
 	n := &Node{
-		rt:      rt,
-		cfg:     cfg,
-		dht:     overlay.New(rt, cfg.DHT),
-		running: make(map[string]*runningQuery),
-		proxied: make(map[string]*proxyState),
-		limiter: newRateLimiter(rt, cfg.MaxQueriesPerMinute),
-		scratch: wire.NewWriter(256),
+		rt:        rt,
+		cfg:       cfg,
+		dht:       overlay.New(rt, cfg.DHT),
+		running:   make(map[string]*runningQuery),
+		proxied:   make(map[string]*proxyState),
+		sigCounts: make(map[uint64]int),
+		limiter:   newRateLimiter(rt, cfg.MaxQueriesPerMinute),
+		scratch:   wire.NewWriter(256),
 	}
+	n.bus = newTableBus(n)
+	n.wheel = newFlushWheel(n)
+	n.batchFn = n.flushDissemBatch
 	n.tree = newDistTree(n)
 	return n
 }
+
+// SetMaxLiveGraphs adjusts the admission-control cap at runtime (driver
+// context or this node's events only — it is plain per-node state). 0
+// disables the cap.
+func (n *Node) SetMaxLiveGraphs(max int) { n.cfg.MaxLiveGraphs = max }
 
 // Start brings up the overlay, binds the query port, and begins
 // distribution-tree maintenance.
@@ -167,6 +220,11 @@ func (n *Node) Stop() {
 	for _, rq := range n.running {
 		n.finishQuery(rq)
 	}
+	if n.batchTimer != nil {
+		n.batchTimer.Cancel()
+		n.batchTimer = nil
+		n.pendingBatch = nil
+	}
 	n.tree.stop()
 	n.rt.Release(vri.PortQuery)
 	n.dht.Stop()
@@ -182,8 +240,75 @@ func (n *Node) DHT() *overlay.DHT { return n.dht }
 // Runtime exposes the node's runtime binding.
 func (n *Node) Runtime() vri.Runtime { return n.rt }
 
-// Stats reports (opgraphs executed, result tuples forwarded).
-func (n *Node) Stats() (graphs, results uint64) { return n.graphsExecuted, n.resultsSent }
+// NodeStats is a snapshot of a node's query-runtime counters — the
+// observability surface of the multi-tenant runtime (live population,
+// shared-subscription health, overload and malformed-input accounting).
+type NodeStats struct {
+	// GraphsExecuted counts opgraphs ever instantiated and run here.
+	GraphsExecuted uint64
+	// ResultsSent counts result tuples forwarded toward proxies.
+	ResultsSent uint64
+	// LiveGraphs is the number of opgraphs currently executing.
+	LiveGraphs int
+	// DistinctSignatures is the number of distinct structural signatures
+	// among the live graphs — LiveGraphs/DistinctSignatures is the
+	// multi-query duplication factor the shared bus exploits.
+	DistinctSignatures int
+	// Subscriptions is the number of live query-level table-bus
+	// attachments (one per open Scan/NewData access method).
+	Subscriptions int
+	// SharedSubscriptions is the number of distinct shared access-method
+	// subscriptions backing them (one per (table, filter) signature).
+	SharedSubscriptions int
+	// Decodes counts newData arrivals decoded — exactly once per
+	// arrival, however many queries consumed it.
+	Decodes uint64
+	// MalformedDrops counts FAILED TUPLE DECODES of stored objects (the
+	// exec.Discarded policy, surfaced): once per arrival on the newData
+	// path, and once per scanning query on the catch-up path (a
+	// malformed object that stays in the store is re-encountered by
+	// every later catch-up scan). Zero means no malformed data met any
+	// query.
+	MalformedDrops uint64
+	// GraphsRejected counts opgraph DELIVERIES this node refused under
+	// the MaxLiveGraphs admission cap (a redundantly delivered graph
+	// can be refused more than once; rejection keeps no per-graph
+	// memory by design — a shedding node must not grow state).
+	GraphsRejected uint64
+	// RejectAcks counts admission-reject acks received while proxying
+	// (one per refused delivery, see GraphsRejected).
+	RejectAcks uint64
+	// FlushTimerFires counts coalesced flush-wheel timer events;
+	// GraphFlushes counts the graph flushes they drove. Without the
+	// wheel the two would be equal (one timer event per graph flush).
+	FlushTimerFires uint64
+	GraphFlushes    uint64
+	// BatchFrames counts dissemination frames this node broadcast as a
+	// proxy; BatchedGraphs counts the opgraphs they carried.
+	BatchFrames   uint64
+	BatchedGraphs uint64
+}
+
+// Stats returns the node's query-runtime counters.
+func (n *Node) Stats() NodeStats {
+	ss := n.dht.SubscriptionStats()
+	return NodeStats{
+		GraphsExecuted:      n.graphsExecuted,
+		ResultsSent:         n.resultsSent,
+		LiveGraphs:          n.liveGraphs,
+		DistinctSignatures:  len(n.sigCounts),
+		Subscriptions:       n.bus.targets,
+		SharedSubscriptions: len(n.bus.shares),
+		Decodes:             ss.Decodes,
+		MalformedDrops:      ss.Malformed + n.scanMalformed.Count(),
+		GraphsRejected:      n.graphsRejected,
+		RejectAcks:          n.rejectAcks,
+		FlushTimerFires:     n.wheel.fires,
+		GraphFlushes:        n.wheel.flushes,
+		BatchFrames:         n.batchFrames,
+		BatchedGraphs:       n.batchedGraphs,
+	}
+}
 
 // uniquifier draws a random tuple suffix (§3.2.1: suffixes are chosen at
 // random to minimize spurious name collisions).
@@ -250,14 +375,40 @@ func (n *Node) Submit(q *ufl.Query, clientID string, onResult func(*tuple.Tuple)
 }
 
 // disseminate routes one opgraph to the nodes that must run it (§3.3.3).
+// Broadcast opgraphs do not travel immediately: they join the proxy's
+// dissemination batch, and every graph enqueued within DissemBatchWindow
+// rides ONE distribution-tree frame — a storm of Q near-simultaneous
+// query submissions costs one tree broadcast per proxy per window
+// instead of Q.
 func (n *Node) disseminate(q *ufl.Query, deadline time.Time, g ufl.Opgraph) {
-	payload := encodeDisseminate(q.ID, deadline, n.rt.Addr(), g)
 	switch g.Dissem.Mode {
 	case ufl.DissemLocal:
 		n.acceptGraph(q.ID, deadline, n.rt.Addr(), g)
 	case ufl.DissemBroadcast:
-		n.tree.broadcast(payload)
+		n.pendingBatch = append(n.pendingBatch, ufl.BatchEntry{
+			QueryID:  q.ID,
+			Deadline: deadline,
+			Proxy:    string(n.rt.Addr()),
+			Graph:    g,
+		})
+		// A query that cannot afford the batch delay ships immediately:
+		// waiting would spend the window out of its remaining life and
+		// leave too little for tree propagation (executors drop graphs
+		// past the deadline). The margin is a few windows, not one, so a
+		// query just over the window still gets useful propagation time
+		// — batching only ever trades latency it can spare.
+		if deadline.Sub(n.rt.Now()) <= 4*n.cfg.DissemBatchWindow {
+			if n.batchTimer != nil {
+				n.batchTimer.Cancel()
+			}
+			n.flushDissemBatch()
+			return
+		}
+		if n.batchTimer == nil {
+			n.batchTimer = n.rt.Schedule(n.cfg.DissemBatchWindow, n.batchFn)
+		}
 	case ufl.DissemEquality:
+		payload := encodeDisseminate(q.ID, deadline, n.rt.Addr(), g)
 		// Route to the owner of the named key — the equality-predicate
 		// index: only nodes holding that partition see the query. The
 		// lookup retries: silently dropping a query's only opgraph would
@@ -282,25 +433,59 @@ func (n *Node) disseminate(q *ufl.Query, deadline time.Time, g ufl.Opgraph) {
 	}
 }
 
+// flushDissemBatch ships every pending broadcast opgraph in
+// distribution-tree frames (ufl batch codec v2), splitting batches that
+// exceed the codec's u16 entry count so nothing silently drops.
+func (n *Node) flushDissemBatch() {
+	n.batchTimer = nil
+	for len(n.pendingBatch) > 0 {
+		entries := n.pendingBatch
+		if len(entries) > ufl.MaxBatchEntries {
+			entries = entries[:ufl.MaxBatchEntries]
+		}
+		n.pendingBatch = n.pendingBatch[len(entries):]
+		if len(n.pendingBatch) == 0 {
+			n.pendingBatch = nil
+		}
+		// The frame is held across the tree root lookup (an async
+		// boundary), so it gets its own writer, not the scratch.
+		body := ufl.EncodeBatch(entries)
+		w := wire.NewWriter(8 + len(body))
+		w.U8(qmDisseminateBatch)
+		w.Bytes32(body)
+		n.batchFrames++
+		n.batchedGraphs += uint64(len(entries))
+		n.tree.broadcast(w.Bytes())
+	}
+}
+
 // acceptGraph instantiates an arriving opgraph and runs it until the
 // query's deadline (§3.3.2). An opgraph executes as soon as it is
 // received; operators must catch up with data that arrived before them
-// (§3.3.4).
+// (§3.3.4). When the MaxLiveGraphs admission cap is reached the graph is
+// refused with an explicit reject ack to the proxy — bounded degradation
+// under a query storm instead of unbounded state growth.
 func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, g ufl.Opgraph) {
 	remaining := deadline.Sub(n.rt.Now())
 	if remaining <= 0 {
 		return // arrived after the query already ended
 	}
 	rq := n.running[queryID]
+	if rq != nil {
+		for _, lg := range rq.graphs {
+			if lg.spec.ID == g.ID {
+				return // duplicate dissemination (tree redundancy)
+			}
+		}
+	}
+	if n.cfg.MaxLiveGraphs > 0 && n.liveGraphs >= n.cfg.MaxLiveGraphs {
+		n.rejectGraph(queryID, proxy)
+		return
+	}
 	if rq == nil {
 		rq = &runningQuery{id: queryID, proxy: proxy, timeout: remaining}
 		n.running[queryID] = rq
 		rq.timer = n.rt.Schedule(remaining, func() { n.finishQuery(rq) })
-	}
-	for _, lg := range rq.graphs {
-		if lg.spec.ID == g.ID {
-			return // duplicate dissemination (tree redundancy)
-		}
 	}
 	lg, err := n.instantiate(rq, g)
 	if err != nil {
@@ -310,7 +495,40 @@ func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, g
 	}
 	rq.graphs = append(rq.graphs, lg)
 	n.graphsExecuted++
+	n.liveGraphs++
+	n.sigCounts[lg.sig]++
 	lg.open()
+}
+
+// rejectGraph refuses an opgraph delivery under admission control and
+// acks the refusal to the proxy explicitly, so overload is visible end
+// to end. Deliberately stateless: accepted graphs dedup redundant tree
+// deliveries via rq.graphs, but a node at its cap must not grow a
+// rejected-set either — so a redundant delivery of a refused graph is
+// refused (and acked) again. Counters therefore count refusals, not
+// distinct refusing nodes.
+func (n *Node) rejectGraph(queryID string, proxy vri.Addr) {
+	n.graphsRejected++
+	if proxy == n.rt.Addr() {
+		// Loopback ack still arrives as an event, like the network one:
+		// a locally-disseminated graph can be refused synchronously
+		// inside Submit, before the caller has wired its reject hook.
+		n.rt.Schedule(0, func() { n.deliverReject(queryID) })
+		return
+	}
+	w := n.scratch
+	w.Reset()
+	w.U8(qmReject)
+	w.String(queryID)
+	n.rt.Send(proxy, vri.PortQuery, w.Bytes(), nil)
+}
+
+// deliverReject records an admission-reject ack at the proxy.
+func (n *Node) deliverReject(queryID string) {
+	n.rejectAcks++
+	if ps := n.proxied[queryID]; ps != nil && ps.onReject != nil {
+		ps.onReject()
+	}
 }
 
 // finishQuery flushes stateful operators, tears the query down, and
@@ -364,6 +582,11 @@ const (
 	qmDisseminate = iota + 1
 	qmResult
 	qmTreeBroadcast
+	// qmDisseminateBatch carries a ufl batch frame: several opgraphs'
+	// dissemination records in one distribution-tree broadcast.
+	qmDisseminateBatch
+	// qmReject is the admission-control refusal ack, executor → proxy.
+	qmReject
 )
 
 func encodeDisseminate(queryID string, deadline time.Time, proxy vri.Addr, g ufl.Opgraph) []byte {
@@ -393,6 +616,23 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 			return
 		}
 		n.acceptGraph(queryID, deadline, proxy, *g)
+
+	case qmDisseminateBatch:
+		entries, err := ufl.DecodeBatch(r.Bytes32())
+		if r.Err() != nil || err != nil {
+			return
+		}
+		for i := range entries {
+			e := &entries[i]
+			n.acceptGraph(e.QueryID, e.Deadline, vri.Addr(e.Proxy), e.Graph)
+		}
+
+	case qmReject:
+		queryID := r.String()
+		if r.Err() != nil {
+			return
+		}
+		n.deliverReject(queryID)
 
 	case qmResult:
 		queryID := r.String()

@@ -89,8 +89,7 @@ opgraph g disseminate broadcast {
 	env.Run(15 * time.Second)
 	executed := 0
 	for _, n := range nodes {
-		g, _ := n.Stats()
-		executed += int(g)
+		executed += int(n.Stats().GraphsExecuted)
 	}
 	if executed != len(nodes) {
 		t.Fatalf("opgraph executed on %d of %d nodes", executed, len(nodes))
@@ -275,8 +274,7 @@ opgraph g disseminate equality 'items' 'starget' {
 	}
 	executed := 0
 	for _, n := range nodes {
-		g, _ := n.Stats()
-		executed += int(g)
+		executed += int(n.Stats().GraphsExecuted)
 	}
 	if executed != 1 {
 		t.Errorf("opgraph ran on %d nodes, want 1 (only the key's owner)", executed)

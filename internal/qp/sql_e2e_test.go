@@ -121,8 +121,7 @@ func TestSQLEndToEndEqualityDissemination(t *testing.T) {
 	}
 	executed := 0
 	for _, n := range nodes {
-		g, _ := n.Stats()
-		executed += int(g)
+		executed += int(n.Stats().GraphsExecuted)
 	}
 	if executed != 1 {
 		t.Errorf("ran on %d nodes, want 1", executed)

@@ -1,0 +1,129 @@
+package qp
+
+import (
+	"time"
+
+	"pier/internal/vri"
+)
+
+// flushWheel coalesces periodic flush timers for continuous queries.
+// Each liveGraph with a flushevery interval used to arm its own repeating
+// timer, so a node running Q continuous queries dispatched Q timer events
+// per period — pure scheduler overhead that grows linearly with query
+// concurrency. The wheel keeps ONE timer per distinct period per node:
+// every graph sharing a period registers on that period's slot, and a
+// single tick flushes them all in registration order (deterministic under
+// the sharded scheduler, since registration follows the node's event
+// order). The timer event count per period drops from Q·nodes to nodes.
+//
+// Slots are soft state like everything else here: when the last graph of
+// a period closes, the slot cancels its timer and disappears — opening
+// and closing 10k queries leaves no armed timers behind.
+type flushWheel struct {
+	n     *Node
+	slots map[time.Duration]*wheelSlot
+
+	fires   uint64 // slot timer events dispatched (the coalesced cost)
+	flushes uint64 // graph flushes those events drove (the work delivered)
+}
+
+type wheelSlot struct {
+	w       *flushWheel
+	period  time.Duration
+	entries []*wheelEntry
+	deadN   int
+	depth   int // >0 while ticking; defers compaction/retirement
+	timer   vri.Timer
+	tickFn  func() // pre-bound so rearming allocates nothing (PR 4 idiom)
+	retired bool
+}
+
+type wheelEntry struct {
+	slot    *wheelSlot
+	lg      *liveGraph
+	removed bool
+}
+
+func newFlushWheel(n *Node) *flushWheel {
+	return &flushWheel{n: n, slots: make(map[time.Duration]*wheelSlot)}
+}
+
+// add registers a graph for periodic flushing. The first registration of
+// a period arms the slot's timer; later ones ride it (a graph joining an
+// existing slot sees its first flush at the slot's next tick, which may
+// be sooner than one full period after open — flushes are best-effort
+// emission points, not exact windows).
+func (w *flushWheel) add(period time.Duration, lg *liveGraph) *wheelEntry {
+	sl := w.slots[period]
+	if sl == nil {
+		sl = &wheelSlot{w: w, period: period}
+		sl.tickFn = sl.tick
+		w.slots[period] = sl
+		sl.timer = w.n.rt.Schedule(period, sl.tickFn)
+	}
+	e := &wheelEntry{slot: sl, lg: lg}
+	sl.entries = append(sl.entries, e)
+	return e
+}
+
+// tick flushes every live graph of the slot, then rearms — unless the
+// slot emptied (all graphs closed, possibly during this very tick).
+func (sl *wheelSlot) tick() {
+	sl.w.fires++
+	sl.depth++
+	limit := len(sl.entries)
+	for i := 0; i < limit; i++ {
+		e := sl.entries[i]
+		if e.removed || e.lg.closed {
+			continue
+		}
+		sl.w.flushes++
+		e.lg.flush()
+	}
+	sl.depth--
+	sl.compact()
+	if !sl.retired {
+		sl.timer = sl.w.n.rt.Schedule(sl.period, sl.tickFn)
+	}
+}
+
+// remove detaches a closing graph; O(1) and idempotent.
+func (e *wheelEntry) remove() {
+	if e.removed {
+		return
+	}
+	e.removed = true
+	e.slot.deadN++
+	e.slot.compact()
+}
+
+// compact reclaims dead entries and retires an emptied slot (cancelling
+// the armed timer so nothing fires into the void).
+func (sl *wheelSlot) compact() {
+	if sl.depth > 0 || sl.retired {
+		return
+	}
+	liveN := len(sl.entries) - sl.deadN
+	if liveN == 0 {
+		sl.retired = true
+		if sl.timer != nil {
+			sl.timer.Cancel()
+		}
+		delete(sl.w.slots, sl.period)
+		return
+	}
+	if sl.deadN*2 <= len(sl.entries) {
+		return
+	}
+	kept := sl.entries[:0]
+	for _, e := range sl.entries {
+		if !e.removed {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(sl.entries); i++ {
+		sl.entries[i] = nil
+	}
+	sl.entries = kept
+	sl.deadN = 0
+}

@@ -247,3 +247,40 @@ func kindsOf(g ufl.Opgraph) map[string]bool {
 	}
 	return m
 }
+
+// TestCompiledPlansShareStructuralSignatures: compiling the same SQL text
+// under different query ids yields opgraphs with identical structural
+// signatures — the property the query processor's multi-query sharing
+// (shared newData subscriptions for identical access methods) keys on.
+// The query id leaks into the plan twice (opgraph ids, rendezvous
+// namespaces like "<id>.partial"); ufl.Opgraph.Signature normalizes both.
+func TestCompiledPlansShareStructuralSignatures(t *testing.T) {
+	const sql = "SELECT src, COUNT(*) AS cnt FROM fwlogs GROUP BY src ORDER BY cnt DESC LIMIT 10 TIMEOUT 30s"
+	qa, err := Run("storm-1", sql, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := Run("storm-2", sql, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qa.Graphs) != len(qb.Graphs) || len(qa.Graphs) < 2 {
+		t.Fatalf("plan shapes differ: %d vs %d graphs", len(qa.Graphs), len(qb.Graphs))
+	}
+	for i := range qa.Graphs {
+		sa := qa.Graphs[i].Signature(qa.ID)
+		sb := qb.Graphs[i].Signature(qb.ID)
+		if sa != sb {
+			t.Errorf("graph %d (%s vs %s): signatures differ: %x vs %x",
+				i, qa.Graphs[i].ID, qb.Graphs[i].ID, sa, sb)
+		}
+	}
+	// A different query must not collide on the scan phase.
+	qc, err := Run("storm-3", "SELECT dst, COUNT(*) AS cnt FROM pkts GROUP BY dst TIMEOUT 30s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Graphs[0].Signature(qa.ID) == qc.Graphs[0].Signature(qc.ID) {
+		t.Error("structurally different plans share a signature")
+	}
+}

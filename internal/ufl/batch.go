@@ -1,0 +1,169 @@
+package ufl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pier/internal/wire"
+)
+
+// Multi-opgraph dissemination batching and structural signatures — the
+// UFL half of the multi-tenant query runtime.
+//
+// PIER assumes hundreds of continuous queries coexist (§3.3.2); paying a
+// full distribution-tree broadcast per opgraph makes query *arrival* cost
+// O(queries × nodes) in messages. A batch frame amortizes it: every
+// opgraph disseminated by one proxy within a small window rides a single
+// tree broadcast. The frame is versioned — the original single-graph
+// dissemination payload is retroactively codec version 1 (it carries no
+// version byte and still travels for equality dissemination); the batch
+// frame is version 2 and leads with its version so future layout changes
+// fail loudly instead of misparsing.
+
+// BatchCodecVersion is the wire version of the multi-opgraph batch frame.
+// Bump on any layout change; DecodeBatch rejects unknown versions.
+const BatchCodecVersion = 2
+
+// MaxBatchEntries is the most entries one batch frame can carry (the
+// header's u16 entry count). Senders must split larger batches;
+// EncodeBatch panics rather than silently wrapping the count.
+const MaxBatchEntries = 65535
+
+// BatchEntry is one opgraph's dissemination record inside a batch frame:
+// everything an executor needs to accept the graph (the fields of the
+// v1 single-graph frame).
+type BatchEntry struct {
+	// QueryID names the query the graph belongs to.
+	QueryID string
+	// Deadline is the query's absolute execution deadline, shared by all
+	// executors (§3.3.4: nodes are only loosely synchronized).
+	Deadline time.Time
+	// Proxy is the address of the node results flow back to.
+	Proxy string
+	// Graph is the opgraph to instantiate.
+	Graph Opgraph
+}
+
+// EncodeBatch serializes a batch of dissemination entries into one
+// version-2 frame. Batches over MaxBatchEntries must be split by the
+// caller; a wrapped u16 count would silently drop graphs, so this
+// panics instead.
+func EncodeBatch(entries []BatchEntry) []byte {
+	if len(entries) > MaxBatchEntries {
+		panic(fmt.Sprintf("ufl: batch of %d entries exceeds MaxBatchEntries (%d); split it", len(entries), MaxBatchEntries))
+	}
+	w := wire.NewWriter(64 + 256*len(entries))
+	w.U8(BatchCodecVersion)
+	w.U16(uint16(len(entries)))
+	for _, e := range entries {
+		w.String(e.QueryID)
+		w.Time(e.Deadline)
+		w.String(e.Proxy)
+		encodeGraph(w, e.Graph)
+	}
+	return w.Bytes()
+}
+
+// DecodeBatch parses a batch frame, rejecting frames of any other codec
+// version.
+func DecodeBatch(b []byte) ([]BatchEntry, error) {
+	r := wire.NewReader(b)
+	if v := r.U8(); v != BatchCodecVersion {
+		return nil, fmt.Errorf("ufl: batch frame version %d, want %d", v, BatchCodecVersion)
+	}
+	n := int(r.U16())
+	entries := make([]BatchEntry, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e := BatchEntry{QueryID: r.String(), Deadline: r.Time(), Proxy: r.String()}
+		e.Graph = decodeGraph(r)
+		entries = append(entries, e)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) != n {
+		return nil, fmt.Errorf("ufl: batch frame truncated: %d of %d entries", len(entries), n)
+	}
+	return entries, nil
+}
+
+// Signature returns a structural fingerprint of the opgraph: an FNV-1a
+// hash over its shape with instance-specific identifiers normalized away.
+// Two opgraphs from different queries that run the same dataflow — same
+// operator kinds, arguments, and wiring — share a signature even when
+// their operator ids differ or their argument values embed the query id
+// (the SQL frontend names rendezvous namespaces "<queryID>.partial").
+//
+// queryID is the id of the query the graph belongs to; occurrences of it
+// inside dissemination targets and argument values are replaced by a
+// placeholder before hashing. Pass "" when the graph is standalone.
+//
+// The query processor keys multi-query work sharing on structural
+// identity: opgraphs with identical Scan/NewData access methods share one
+// newData subscription (the sharing PIER names as future work, in its
+// minimal viable form), and signatures let harnesses and the batch
+// dissemination path report how much structural duplication a workload
+// carries.
+func (g *Opgraph) Signature(queryID string) uint64 {
+	h := uint64(14695981039346656037)
+	// Normalization is token-anchored, not a blind substring replace: a
+	// short query id ("fw") must not mangle unrelated text ("fwlogs").
+	// The id is replaced only when a value IS the id or starts with it
+	// followed by a separator (the "<id>.partial" / "<id>!op" rendezvous
+	// patterns the frontends generate).
+	norm := func(s string) string {
+		if queryID == "" || s == "" {
+			return s
+		}
+		if s == queryID {
+			return "\x00q\x00"
+		}
+		if strings.HasPrefix(s, queryID) && len(s) > len(queryID) {
+			if c := s[len(queryID)]; !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				return "\x00q\x00" + s[len(queryID):]
+			}
+		}
+		return s
+	}
+	// Operator ids are normalized to their declaration index.
+	opIndex := make(map[string]string, len(g.Ops))
+	for i, op := range g.Ops {
+		opIndex[op.ID] = fmt.Sprintf("#%d", i)
+	}
+	h = sigStr(h, g.Dissem.Mode)
+	h = sigStr(h, norm(g.Dissem.Namespace))
+	h = sigStr(h, norm(g.Dissem.Key))
+	for _, op := range g.Ops {
+		h = sigStr(h, strings.ToLower(op.Kind))
+		keys := make([]string, 0, len(op.Args))
+		for k := range op.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h = sigStr(h, k)
+			h = sigStr(h, norm(op.Args[k]))
+		}
+		h = sigStr(h, "|")
+	}
+	for _, e := range g.Edges {
+		h = sigStr(h, opIndex[e.From])
+		h = sigStr(h, opIndex[e.To])
+		h = sigStr(h, fmt.Sprintf("%d", e.Slot))
+	}
+	return h
+}
+
+// sigStr folds one string (plus a terminator, so "ab"+"c" differs from
+// "a"+"bc") into an FNV-1a accumulator.
+func sigStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff
+	h *= 1099511628211
+	return h
+}

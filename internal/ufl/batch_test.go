@@ -1,0 +1,133 @@
+package ufl
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleGraph(id, table string) Opgraph {
+	return Opgraph{
+		ID:     id,
+		Dissem: Dissemination{Mode: DissemBroadcast},
+		Ops: []OpSpec{
+			{ID: "scan", Kind: "Scan", Args: map[string]string{"table": table}},
+			{ID: "agg", Kind: "GroupBy", Args: map[string]string{"keys": "src", "aggs": "count(*) as cnt"}},
+			{ID: "out", Kind: "Result", Args: map[string]string{}},
+		},
+		Edges: []Edge{{From: "scan", To: "agg"}, {From: "agg", To: "out"}},
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	at := time.Unix(1000, 0).UTC()
+	entries := []BatchEntry{
+		{QueryID: "q1", Deadline: at, Proxy: "node-1", Graph: sampleGraph("g1", "fwlogs")},
+		{QueryID: "q2", Deadline: at.Add(time.Second), Proxy: "node-2", Graph: sampleGraph("g2", "files")},
+	}
+	got, err := DecodeBatch(EncodeBatch(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d entries, want 2", len(got))
+	}
+	for i := range entries {
+		if got[i].QueryID != entries[i].QueryID || !got[i].Deadline.Equal(entries[i].Deadline) ||
+			got[i].Proxy != entries[i].Proxy || got[i].Graph.ID != entries[i].Graph.ID {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], entries[i])
+		}
+		if len(got[i].Graph.Ops) != 3 || len(got[i].Graph.Edges) != 2 {
+			t.Fatalf("entry %d graph shape lost: %+v", i, got[i].Graph)
+		}
+	}
+}
+
+func TestBatchCodecRejectsWrongVersion(t *testing.T) {
+	frame := EncodeBatch([]BatchEntry{{QueryID: "q", Graph: sampleGraph("g", "t")}})
+	frame[0] = BatchCodecVersion + 1
+	if _, err := DecodeBatch(frame); err == nil {
+		t.Fatal("decoded a frame with an unknown codec version")
+	}
+	if _, err := DecodeBatch([]byte{}); err == nil {
+		t.Fatal("decoded an empty frame")
+	}
+}
+
+func TestBatchCodecRejectsTruncated(t *testing.T) {
+	frame := EncodeBatch([]BatchEntry{
+		{QueryID: "q1", Graph: sampleGraph("g1", "t")},
+		{QueryID: "q2", Graph: sampleGraph("g2", "t")},
+	})
+	if _, err := DecodeBatch(frame[:len(frame)-5]); err == nil {
+		t.Fatal("decoded a truncated frame")
+	}
+}
+
+// TestSignatureStructural: identical structure under renamed op ids and
+// query-id-embedding argument values hashes the same; different structure
+// hashes differently.
+func TestSignatureStructural(t *testing.T) {
+	a := sampleGraph("g1", "fwlogs")
+	b := sampleGraph("zzz", "fwlogs")
+	// Rename every op id; wiring stays isomorphic.
+	b.Ops[0].ID, b.Ops[1].ID, b.Ops[2].ID = "s2", "a2", "o2"
+	b.Edges = []Edge{{From: "s2", To: "a2"}, {From: "a2", To: "o2"}}
+	if a.Signature("") != b.Signature("") {
+		t.Fatal("op renaming changed the structural signature")
+	}
+
+	// Query-id-embedded namespaces normalize away (the sqlfront pattern).
+	qa, qb := sampleGraph("p1", "t"), sampleGraph("p1", "t")
+	qa.Ops[1].Args["ns"] = "query-17.partial"
+	qb.Ops[1].Args["ns"] = "query-99.partial"
+	if qa.Signature("query-17") != qb.Signature("query-99") {
+		t.Fatal("query-id normalization failed")
+	}
+	if qa.Signature("") == qb.Signature("") {
+		t.Fatal("distinct namespaces must differ without normalization")
+	}
+
+	// Structural differences must show.
+	c := sampleGraph("g1", "otherlogs")
+	if a.Signature("") == c.Signature("") {
+		t.Fatal("different scan table, same signature")
+	}
+	d := sampleGraph("g1", "fwlogs")
+	d.Edges = []Edge{{From: "scan", To: "agg"}, {From: "agg", To: "out", Slot: 1}}
+	if a.Signature("") == d.Signature("") {
+		t.Fatal("different slot wiring, same signature")
+	}
+	e := sampleGraph("g1", "fwlogs")
+	e.Dissem = Dissemination{Mode: DissemLocal}
+	if a.Signature("") == e.Signature("") {
+		t.Fatal("different dissemination mode, same signature")
+	}
+}
+
+func TestEncodeBatchRefusesOversizedBatch(t *testing.T) {
+	entries := make([]BatchEntry, MaxBatchEntries+1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeBatch accepted a batch whose u16 count would wrap")
+		}
+	}()
+	EncodeBatch(entries)
+}
+
+// TestSignatureNormalizationIsTokenAnchored: a query id that is a
+// substring of unrelated argument text ("fw" inside table 'fwlogs') must
+// not perturb the structural signature.
+func TestSignatureNormalizationIsTokenAnchored(t *testing.T) {
+	a := sampleGraph("g", "fwlogs")
+	b := sampleGraph("g", "fwlogs")
+	if a.Signature("fw") != b.Signature("some-other-id") {
+		t.Fatal("substring query id mangled an unrelated argument value")
+	}
+	// Anchored occurrences still normalize.
+	qa, qb := sampleGraph("g", "t"), sampleGraph("g", "t")
+	qa.Ops[1].Args["ns"] = "fw.partial"
+	qb.Ops[1].Args["ns"] = "q9.partial"
+	if qa.Signature("fw") != qb.Signature("q9") {
+		t.Fatal("anchored query-id prefix failed to normalize")
+	}
+}
