@@ -14,6 +14,12 @@
 //	experiments -ablation churnagg -workers 8   # 10k-node churn+aggregation scale run
 //	experiments -ablation all
 //
+// Declarative scenarios (failure injection + assertions) run from YAML
+// files; a failed assertion exits 1, so the files double as CI gates:
+//
+//	experiments -scenario scenarios/partition-heal.yaml -workers 4
+//	experiments -scenario scenarios/churn-burst.yaml
+//
 // Every figure and ablation accepts -workers K: the harnesses follow
 // the sharded scheduler's collector discipline, so results are
 // bit-identical to -workers 0 at the same seed while wall-clock scales
@@ -60,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.Int("fig", 0, "figure to reproduce (1 or 2)")
+	scenario := fs.String("scenario", "", "run a declarative scenario file (YAML subset; see scenarios/) and enforce its assertions")
 	ablation := fs.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|churnagg|qstorm|all)")
 	nodes := fs.Int("nodes", 0, "override deployment size")
 	queries := fs.Int("queries", 0, "override query count (figure 1 / qstorm concurrency)")
@@ -161,6 +168,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	ran := false
+	if *scenario != "" {
+		ran = true
+		src, err := os.ReadFile(*scenario)
+		if err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			return 2
+		}
+		spec, err := experiments.ParseScenario(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "scenario %s: %v\n", *scenario, err)
+			return 2
+		}
+		// The report is workers-invariant by contract (the runner keeps
+		// the worker count out of it), so stdout diffs cleanly across
+		// -workers values; wall clock goes to stderr.
+		start := time.Now()
+		out := experiments.RunScenario(spec, *workers)
+		fmt.Fprint(stdout, out.Report)
+		fmt.Fprintf(stderr, "scenario wall clock: %v\n", time.Since(start).Round(time.Millisecond))
+		if !out.Passed {
+			return 1
+		}
+	}
 	if *fig == 1 {
 		ran = true
 		fmt.Fprintln(stdout, "=== Figure 1: CDF of first-result latency (PIER vs Gnutella) ===")

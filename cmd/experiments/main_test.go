@@ -166,3 +166,87 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 		t.Errorf("stderr = %q, want cpuprofile error", errOut2.String())
 	}
 }
+
+// TestScenarioFlag drives the -scenario front door end to end: a green
+// scenario exits 0 with a PASS report on stdout (bit-identical across
+// worker counts), a failed assertion exits 1 with the report still
+// printed, and file/parse errors exit 2 before any simulation runs.
+func TestScenarioFlag(t *testing.T) {
+	dir := t.TempDir()
+	green := filepath.Join(dir, "green.yaml")
+	if err := os.WriteFile(green, []byte(`
+name: cli-green
+seed: 11
+nodes: 6
+duration: 10s
+teardown: 8s
+workload:
+  - kind: continuous-agg
+    queries: 2
+    flush-every: 3s
+    events-per-node: 5
+    sources: 8
+assert:
+  min-result-rows: 1
+  all-queries-done: true
+  no-leaks: true
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runScenario := func(extra ...string) (int, string, string) {
+		var out, errOut bytes.Buffer
+		code := run(append([]string{"-scenario", green}, extra...), &out, &errOut)
+		return code, out.String(), errOut.String()
+	}
+	code, seqOut, seqErr := runScenario()
+	if code != 0 {
+		t.Fatalf("green scenario = %d; stdout:\n%s\nstderr: %s", code, seqOut, seqErr)
+	}
+	if !strings.Contains(seqOut, "RESULT: PASS") {
+		t.Fatalf("green scenario stdout missing RESULT: PASS:\n%s", seqOut)
+	}
+	if !strings.Contains(seqErr, "scenario wall clock") {
+		t.Errorf("wall clock must go to stderr, got: %q", seqErr)
+	}
+	if code, parOut, _ := runScenario("-workers", "2"); code != 0 || parOut != seqOut {
+		t.Fatalf("scenario stdout not bit-identical across worker counts (code=%d):\n--- w0 ---\n%s\n--- w2 ---\n%s",
+			code, seqOut, parOut)
+	}
+
+	// A failed assertion exits 1 — the CI smoke lane's failure signal —
+	// with the full report still on stdout.
+	doomed := filepath.Join(dir, "doomed.yaml")
+	if err := os.WriteFile(doomed, []byte(`
+name: cli-doomed
+nodes: 4
+duration: 6s
+teardown: 5s
+assert:
+  malformed-seen: true
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scenario", doomed}, &out, &errOut); code != 1 {
+		t.Fatalf("doomed scenario = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "RESULT: FAIL") {
+		t.Fatalf("doomed scenario stdout missing RESULT: FAIL:\n%s", out.String())
+	}
+
+	// Parse errors and missing files exit 2 with a message, no run.
+	broken := filepath.Join(dir, "broken.yaml")
+	if err := os.WriteFile(broken, []byte("name: x\nnodes: 4\nduration: 5s\nbogus: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{broken, filepath.Join(dir, "nope.yaml")} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-scenario", path}, &out, &errOut); code != 2 {
+			t.Errorf("run(-scenario %s) = %d, want 2", path, code)
+		}
+		if !strings.Contains(errOut.String(), "scenario") {
+			t.Errorf("stderr = %q, want scenario error", errOut.String())
+		}
+	}
+}

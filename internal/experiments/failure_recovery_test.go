@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/qp"
+	"pier/internal/sim"
+	"pier/internal/tuple"
+	"pier/internal/ufl"
+	"pier/internal/vri"
+)
+
+// TestRingRepairsAfterCorrelatedFailure kills several nodes at one
+// instant (a correlated failure — rack power loss, not independent
+// churn) and requires stabilization to splice every surviving node's
+// successor pointer back onto a live node. The successor list depth is
+// the resilience budget; three simultaneous deaths stay within it only
+// because the victims' ring positions are hash-scattered, which is
+// exactly the recovery argument the scenario DSL's kill action leans on.
+func TestRingRepairsAfterCorrelatedFailure(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			env := sim.NewEnv(sim.Options{Seed: 71})
+			env.SetWorkers(workers)
+			nodes := BuildCluster(env, 16, "n")
+
+			dead := map[vri.Addr]bool{}
+			for _, i := range []int{5, 9, 13} {
+				dead[nodes[i].Addr()] = true
+			}
+			for a := range dead {
+				env.Fail(a)
+			}
+
+			byAddr := map[vri.Addr]*qp.Node{}
+			for _, n := range nodes {
+				byAddr[n.Addr()] = n
+			}
+			repaired := func() (vri.Addr, vri.Addr, bool) {
+				for _, a := range env.LiveAddrs() {
+					n := byAddr[a]
+					succ := n.DHT().Successor()
+					if succ == a || dead[succ] {
+						return a, succ, false
+					}
+				}
+				return "", "", true
+			}
+			// Mirror BuildCluster's quiesce cadence: bounded stabilization
+			// rounds, stop at the first fully repaired sweep.
+			ok := false
+			for round := 0; round < 40 && !ok; round++ {
+				env.Run(15 * time.Second)
+				_, _, ok = repaired()
+			}
+			if a, succ, _ := repaired(); !ok {
+				t.Fatalf("ring never repaired: %s still points at %q", a, succ)
+			}
+			if got := len(env.LiveAddrs()); got != len(nodes)-len(dead) {
+				t.Fatalf("live count = %d, want %d", got, len(nodes)-len(dead))
+			}
+		})
+	}
+}
+
+// TestQPTeardownAfterMidQueryFailure fails a query participant while
+// continuous aggregation queries are live, then checks that every
+// SURVIVING node still tears down cleanly at the deadline: no leaked
+// subscriptions, live graphs, or flush-wheel slots. Teardown is
+// node-local (each node schedules its own close from the disseminated
+// deadline), so a dead peer must not leave state pinned anywhere else.
+func TestQPTeardownAfterMidQueryFailure(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			env := sim.NewEnv(sim.Options{Seed: 83})
+			env.SetWorkers(workers)
+			nodes := BuildCluster(env, 10, "n")
+
+			const timeout = 20 * time.Second
+			sets := make([]*qp.ResultSet, 0, 4)
+			for i := 0; i < 4; i++ {
+				plan := ufl.MustParse(fmt.Sprintf(`
+query mid%d timeout %s
+opgraph g disseminate broadcast {
+    src = NewData(table='fwlogs')
+    agg = GroupBy(aggs='count(*) as cnt', flushevery='4s')
+    out = Result()
+    agg <- src
+    out <- agg
+}
+`, i, timeout))
+				rs, err := nodes[i%4].SubmitCollect(plan, "midfail")
+				if err != nil {
+					t.Fatal(err)
+				}
+				sets = append(sets, rs)
+			}
+			// A little traffic so the graphs do real work before the kill.
+			for i, n := range nodes {
+				n := n
+				row := i
+				n.Runtime().Schedule(3*time.Second, func() {
+					n.PublishLocal("fwlogs", tuple.New("fwlogs").
+						Set("src", tuple.String(fmt.Sprintf("10.0.0.%d", row))).
+						Set("dstport", tuple.Int(80)).
+						Set("severity", tuple.Int(3)), time.Hour)
+				})
+			}
+
+			env.Run(8 * time.Second) // queries live, events flowing
+			env.Fail(nodes[7].Addr())
+			env.Run(timeout + 20*time.Second) // past every deadline + grace
+
+			rows := 0
+			for _, rs := range sets {
+				rows += rs.Len()
+			}
+			if rows == 0 {
+				t.Fatal("degenerate run: no result rows before the failure")
+			}
+			for i, n := range nodes {
+				if i == 7 {
+					continue
+				}
+				st := n.Stats()
+				if st.Subscriptions != 0 || st.LiveGraphs != 0 || st.WheelSlots != 0 {
+					t.Fatalf("%s leaked after peer failure: subscriptions=%d graphs=%d wheel-slots=%d",
+						n.Addr(), st.Subscriptions, st.LiveGraphs, st.WheelSlots)
+				}
+			}
+		})
+	}
+}

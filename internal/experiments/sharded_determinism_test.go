@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -178,5 +179,30 @@ func TestQStormShardedMatchesSequential(t *testing.T) {
 	}
 	if seq.FlushTimerFires*uint64(cfg.Queries) != seq.FlushBaseline {
 		t.Fatalf("flush coalescing off: fires=%d baseline=%d", seq.FlushTimerFires, seq.FlushBaseline)
+	}
+}
+
+// TestScenarioShardedMatchesSequentialWithLoss drives the full scenario
+// stack — environment-level LossRate, a healing partition, a lossy link
+// override, and a kill — and requires the byte-for-byte report to match
+// between the sequential and sharded schedulers. This is the regression
+// net for the loss-determinism contract: every loss draw (base rate and
+// per-link override) comes from the sender's stream, so the verdict of
+// each coin flip is independent of which shard pops the delivery.
+func TestScenarioShardedMatchesSequentialWithLoss(t *testing.T) {
+	spec := scenarioLossSpec()
+	if spec.Network.LossRate <= 0 {
+		t.Fatal("spec must exercise LossRate > 0")
+	}
+	seq := RunScenario(spec, 0)
+	par := RunScenario(spec, 8)
+	if seq.Report != par.Report {
+		t.Fatalf("scenario report diverged under loss:\nseq:\n%s\npar:\n%s", seq.Report, par.Report)
+	}
+	if !seq.Passed {
+		t.Fatalf("degenerate run, scenario failed:\n%s", seq.Report)
+	}
+	if !strings.Contains(seq.Report, "loss-rate=0.050") {
+		t.Fatalf("report does not show the loss rate:\n%s", seq.Report)
 	}
 }

@@ -283,6 +283,10 @@ type NodeStats struct {
 	// wheel the two would be equal (one timer event per graph flush).
 	FlushTimerFires uint64
 	GraphFlushes    uint64
+	// WheelSlots is the number of occupied flush-wheel slots (one per
+	// distinct flush period with live registrations). Nonzero after
+	// every continuous query has torn down means a leaked timer chain.
+	WheelSlots int
 	// BatchFrames counts dissemination frames this node broadcast as a
 	// proxy; BatchedGraphs counts the opgraphs they carried.
 	BatchFrames   uint64
@@ -305,6 +309,7 @@ func (n *Node) Stats() NodeStats {
 		RejectAcks:          n.rejectAcks,
 		FlushTimerFires:     n.wheel.fires,
 		GraphFlushes:        n.wheel.flushes,
+		WheelSlots:          len(n.wheel.slots),
 		BatchFrames:         n.batchFrames,
 		BatchedGraphs:       n.batchedGraphs,
 	}

@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,8 +108,10 @@ type Options struct {
 	Congestion CongestionModel
 	// LossRate drops each message independently with this probability.
 	// The paper's simulator delivers all messages; this defaults to 0.
-	// In sharded mode the loss decision draws from the sender's random
-	// stream instead of the environment's, so it stays deterministic.
+	// The loss decision always draws from the sender's random stream —
+	// never the environment's — so a lossy run is bit-identical at any
+	// worker count (the scheduler's core determinism contract; see
+	// Env.deliver).
 	LossRate float64
 	// AckTimeout is how long the transport waits before reporting a
 	// failed delivery (dead destination or lost message) to the sender.
@@ -164,6 +167,13 @@ type Env struct {
 	// par is non-nil when the sharded scheduler is selected via
 	// SetWorkers. See sharded.go.
 	par *parEngine
+
+	// net holds driver-installed network condition overrides (partitions,
+	// per-link loss/latency) layered on the topology; nil until the first
+	// override is installed, so the delivery hot path pays one nil check.
+	// Mutated only at driver barriers, read by shard workers during
+	// windows (the barrier handoff orders the accesses). See overrides.go.
+	net *netOverrides
 
 	// pool recycles events and payload buffers for the sequential
 	// scheduler and all driver/coordinator-context scheduling. Shards
@@ -386,12 +396,45 @@ func (e *Env) runDeliver(ev *event) {
 	// discarded at dispatch.
 	if ev.ack != nil {
 		back := e.opts.Topology.Latency(dst.addr, ev.from.addr)
+		if nv := e.net; nv != nil {
+			// A slow link delays the ack too; partitions and loss do not
+			// apply to acks (see the override contract in overrides.go).
+			ov, _ := nv.link(dst.addr, ev.from.addr)
+			back += ov.extraLatency
+		}
 		ae := e.newEvent(dst, dst.timeNow().Add(back), ev.from)
 		ae.kind = evAck
 		ae.ack = ev.ack
 		ae.ackOK = true
 		e.enqueue(dst, ae)
 	}
+}
+
+// nackDroppedDeliver honors the transport's reliable-or-notified
+// contract for a delivery event discarded because its destination
+// failed while the message was in flight. The send-time path already
+// nacks a dead destination (deliver); without this, an in-flight
+// failure silently swallowed the ack callback and the sender waited
+// forever. The failure ack fires at the sender AckTimeout after the
+// message's would-be arrival, mirroring the send-time nack delay, and
+// is stamped from the DEAD destination's event stream: the popping
+// context owns that node's srcSeq counter and pool in both scheduler
+// modes (the sender's stream may be racing on another shard), and the
+// dead node's events pop in the same (at, src, seq) total order at any
+// worker count, so the stamp — and therefore the whole simulation —
+// stays bit-identical. Callers invoke this on every discarded
+// dead-destination event before recycling it; non-delivery kinds and
+// ackless sends are no-ops.
+func (e *Env) nackDroppedDeliver(ev *event) {
+	if ev.kind != evDeliver || ev.ack == nil {
+		return
+	}
+	dst := ev.node
+	ae := e.newEvent(dst, ev.at.Add(e.opts.AckTimeout), ev.from)
+	ae.kind = evAck
+	ae.ack = ev.ack
+	ae.ackOK = false
+	e.enqueue(dst, ae)
 }
 
 // Schedule enqueues an environment-level event after delay. It is used by
@@ -456,7 +499,10 @@ func (e *Env) Step() bool {
 		e.now = ev.at
 		if ev.node != nil {
 			if !ev.node.alive {
-				e.pool.putEvent(ev) // events for failed nodes are discarded
+				// Events for failed nodes are discarded — but an in-flight
+				// delivery still owes its sender the failure ack.
+				e.nackDroppedDeliver(ev)
+				e.pool.putEvent(ev)
 				continue
 			}
 			ev.node.now = ev.at
@@ -491,7 +537,9 @@ func (e *Env) RunUntil(deadline time.Time) {
 		// scheduler (correctly) never makes.
 		next := e.queue[0]
 		if next.cancelled || (next.node != nil && !next.node.alive) {
-			e.pool.putEvent(e.queue.pop())
+			ev := e.queue.pop()
+			e.nackDroppedDeliver(ev)
+			e.pool.putEvent(ev)
 			continue
 		}
 		if next.at.After(deadline) {
@@ -585,8 +633,13 @@ func (e *Env) Node(addr vri.Addr) *Node {
 
 // Fail kills a node: pending and future events for it are discarded, its
 // handlers are dropped, and messages addressed to it fail delivery. This
-// models the paper's "complete node failures". Under the sharded
-// scheduler, Fail may only be called from driver code.
+// models the paper's "complete node failures": the node's state is
+// frozen as-is, nothing is captured or flushed, and the address never
+// revives (respawns use fresh names). The transport contract survives
+// the failure — a message already in flight to the dying node nacks its
+// sender AckTimeout after the would-be arrival (nackDroppedDeliver),
+// exactly as a send to an already-dead node nacks at send time. Under
+// the sharded scheduler, Fail may only be called from driver code.
 func (e *Env) Fail(addr vri.Addr) {
 	if e.par != nil && e.par.inWindow {
 		panic("sim: Fail called from a node event under the sharded scheduler")
@@ -611,7 +664,12 @@ func (e *Env) Alive(addr vri.Addr) bool {
 	return n != nil && n.alive
 }
 
-// LiveAddrs returns the addresses of all live nodes (order unspecified).
+// LiveAddrs returns the addresses of all live nodes in sorted order.
+// The canonical order is part of the contract: drivers sample failure
+// targets and workload origins from this slice, and any iteration whose
+// order decides message sequences must be canonically ordered (the
+// sharded-safe harness rules in ROADMAP.md) — the map-iteration order
+// returned before made every such draw run-dependent.
 func (e *Env) LiveAddrs() []vri.Addr {
 	out := make([]vri.Addr, 0, len(e.nodes))
 	for a, n := range e.nodes {
@@ -619,6 +677,7 @@ func (e *Env) LiveAddrs() []vri.Addr {
 			out = append(out, a)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -660,16 +719,28 @@ func (e *Env) deliver(src *Node, dst vri.Addr, dstPort vri.Port, payload []byte,
 
 	var lost bool
 	if e.opts.LossRate > 0 {
-		// The environment rng is not safe under sharded workers; draw
-		// from the sender's stream there (deterministic either way).
-		if e.par != nil {
-			lost = src.rng.Float64() < e.opts.LossRate
-		} else {
-			lost = e.rng.Float64() < e.opts.LossRate
+		// Always the sender's stream. The environment stream is not just
+		// unsafe under sharded workers — drawing from it SEQUENTIALLY
+		// while drawing from src.rng under workers meant any LossRate>0
+		// run violated the workers=0 ≡ workers=8 contract (the draw
+		// sequences diverged). The per-sender stream is consumed in the
+		// sender's own deterministic event order in both modes.
+		lost = src.rng.Float64() < e.opts.LossRate
+	}
+	blocked := false
+	if nv := e.net; nv != nil {
+		ov, cut := nv.link(src.addr, dst)
+		blocked = cut
+		arrival = arrival.Add(ov.extraLatency)
+		if !lost && ov.loss > 0 {
+			// Same stream, after the base draw: the draw count per send
+			// is a deterministic function of the override table, which
+			// only changes at driver barriers.
+			lost = src.rng.Float64() < ov.loss
 		}
 	}
 	dstNode := e.nodes[dst]
-	if lost || dstNode == nil || !dstNode.alive {
+	if lost || blocked || dstNode == nil || !dstNode.alive {
 		if ack != nil {
 			ev := e.newEvent(src, now.Add(e.opts.AckTimeout), src)
 			ev.kind = evAck

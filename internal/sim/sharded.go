@@ -99,6 +99,16 @@ func (e *Env) SetWorkers(k int) {
 	if la <= 0 {
 		panic(fmt.Sprintf("sim: SetWorkers(%d) needs a topology with positive MinLatency, got %v", k, la))
 	}
+	if e.opts.AckTimeout < la {
+		// Every cross-shard event must land >= one lookahead ahead of the
+		// window that creates it. Message arrivals satisfy this through
+		// the topology (latency >= MinLatency); failure nacks for
+		// in-flight deliveries (nackDroppedDeliver) land AckTimeout
+		// ahead, so an ack timeout below the minimum latency would let a
+		// nack land inside an already-dispatched window.
+		panic(fmt.Sprintf("sim: SetWorkers(%d) needs AckTimeout >= the topology's MinLatency lookahead (%v), got %v",
+			k, la, e.opts.AckTimeout))
+	}
 	p := &parEngine{k: k, lookahead: la, shards: make([]*shard, k)}
 	for i := range p.shards {
 		p.shards[i] = &shard{id: i, out: make([][]*event, k)}
@@ -145,6 +155,11 @@ func (sh *shard) dispatchWindow(e *Env, end time.Time) {
 		}
 		n := top.node
 		if !n.alive {
+			// Discarded in-flight deliveries still owe the sender a
+			// failure ack. The nack lands >= AckTimeout ahead, and
+			// SetWorkers requires AckTimeout >= the lookahead, so a
+			// cross-shard nack never lands inside the current window.
+			e.nackDroppedDeliver(top)
 			sh.pool.putEvent(top)
 			continue
 		}
@@ -271,6 +286,7 @@ func (p *parEngine) run(e *Env, deadline time.Time, drain bool) {
 			}
 			if ev.node != nil {
 				if !ev.node.alive {
+					e.nackDroppedDeliver(ev)
 					e.pool.putEvent(ev)
 					continue
 				}
