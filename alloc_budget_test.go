@@ -51,6 +51,62 @@ func TestEventThroughputAllocBudget(t *testing.T) {
 	}
 }
 
+// TestExecBatchAllocBudget gates the vectorized operator path per tuple
+// processed: it runs the BenchmarkExecBatchThroughput body (8192 rows
+// through Select(compiled) → GroupBy per op) at each batch size and
+// fails if allocs divided by rows processed exceed the checked-in
+// per-tuple budget. It also enforces the relative contract — batch=1024
+// must allocate less than 40% of what the row-wise path does per tuple —
+// so the batch path cannot quietly converge back to per-tuple costs
+// while staying under a stale absolute cap.
+func TestExecBatchAllocBudget(t *testing.T) {
+	if os.Getenv("PIER_ALLOC_BUDGET") == "" {
+		t.Skip("set PIER_ALLOC_BUDGET=1 to enforce the allocation budget")
+	}
+	raw, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatalf("reading budget file: %v", err)
+	}
+	var budget struct {
+		ExecBatchAllocsPerTuple map[string]float64 `json:"exec_batch_allocs_per_tuple"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatalf("parsing alloc_budget.json: %v", err)
+	}
+	if len(budget.ExecBatchAllocsPerTuple) == 0 {
+		t.Fatal("alloc_budget.json carries no exec_batch_allocs_per_tuple entries")
+	}
+	perTuple := map[string]float64{}
+	for _, size := range []int{0, 1, 64, 1024} {
+		size := size
+		key := "rowwise"
+		if size > 0 {
+			key = fmt.Sprintf("batch=%d", size)
+		}
+		limit, ok := budget.ExecBatchAllocsPerTuple[key]
+		if !ok {
+			t.Errorf("alloc_budget.json has no exec-batch budget for %s", key)
+			continue
+		}
+		res := testing.Benchmark(func(b *testing.B) { runExecBatch(b, size) })
+		got := float64(res.AllocsPerOp()) / execBatchRows
+		perTuple[key] = got
+		t.Logf("%s: %.4f allocs/tuple (budget %.4f), %d allocs/op over %d rows",
+			key, got, limit, res.AllocsPerOp(), execBatchRows)
+		if got > limit {
+			t.Errorf("%s: %.4f allocs/tuple exceeds the checked-in budget of %.4f — per-tuple allocations "+
+				"crept into the batch path; if intentional, justify it and raise alloc_budget.json in the "+
+				"same change", key, got, limit)
+		}
+	}
+	if row, ok := perTuple["rowwise"]; ok {
+		if batch, ok := perTuple["batch=1024"]; ok && batch > 0.4*row {
+			t.Errorf("batch=1024 allocates %.4f/tuple, more than 40%% of rowwise's %.4f — the "+
+				"vectorized path lost its amortization advantage", batch, row)
+		}
+	}
+}
+
 // TestQueryStormAllocBudget is the multi-tenant twin of the gate above:
 // it runs the BenchmarkQueryStormDispatch body — Q concurrent continuous
 // queries fed by a fixed publish load — and fails if allocs/op exceeds

@@ -346,6 +346,118 @@ func BenchmarkGroupSetAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkExecBatchThroughput measures the vectorized operator path:
+// one op pushes a fixed 8192-row dataset through Select(compiled
+// predicate) → GroupBy(count+sum) and flushes. rowwise drives the
+// compatibility Push path (per-tuple Eval with name lookups, per-tuple
+// group keys); batch=N drives PushBatch with pre-built columnar batches.
+// The rows carry the predicate/group columns LAST among eight columns,
+// so the row path pays the honest name-scan cost the batch path
+// amortizes to one column-index resolution per batch. tuples/s is the
+// comparable work metric; the allocation side is gated per tuple by
+// TestExecBatchAllocBudget against alloc_budget.json.
+func BenchmarkExecBatchThroughput(b *testing.B) {
+	for _, size := range []int{0, 1, 64, 1024} {
+		size := size
+		name := "rowwise"
+		if size > 0 {
+			name = fmt.Sprintf("batch=%d", size)
+		}
+		b.Run(name, func(b *testing.B) {
+			runExecBatch(b, size)
+		})
+	}
+}
+
+// execBatchRows is the dataset size of one benchmark op.
+const execBatchRows = 8192
+
+// execBatchSchema places the hot columns last among filler columns, the
+// shape of the paper's firewall-log tuples (timestamps, interface ids,
+// flags ahead of the queried fields): the row path re-scans the names
+// for every tuple, the batch path resolves each index once per batch.
+var execBatchSchema = []string{
+	"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
+	"severity", "src", "score",
+}
+
+func buildExecBatchTuples() []*tuple.Tuple {
+	rng := rand.New(rand.NewSource(11))
+	rows := make([]*tuple.Tuple, execBatchRows)
+	for i := range rows {
+		t := tuple.New("fwlogs")
+		for f := 0; f < len(execBatchSchema)-3; f++ {
+			t.Set(execBatchSchema[f], tuple.Int(int64(i+f)))
+		}
+		t.Set("severity", tuple.Int(rng.Int63n(8))).
+			Set("src", tuple.String(fmt.Sprintf("10.0.0.%d", rng.Intn(32)))).
+			Set("score", tuple.Float(float64(rng.Intn(100))))
+		rows[i] = t
+	}
+	return rows
+}
+
+func buildExecBatchBatches(rows []*tuple.Tuple, size int) []*tuple.Batch {
+	var out []*tuple.Batch
+	vals := make([]tuple.Value, len(execBatchSchema))
+	for off := 0; off < len(rows); off += size {
+		end := off + size
+		if end > len(rows) {
+			end = len(rows)
+		}
+		cb := tuple.NewColumnarBatch("fwlogs", execBatchSchema, end-off)
+		for _, t := range rows[off:end] {
+			for c, name := range execBatchSchema {
+				vals[c], _ = t.Get(name)
+			}
+			cb.AppendRow(vals)
+		}
+		out = append(out, cb)
+	}
+	return out
+}
+
+// runExecBatch is the body shared by BenchmarkExecBatchThroughput and the
+// allocation-budget gate (TestExecBatchAllocBudget). batchSize 0 is the
+// row-wise reference path.
+func runExecBatch(b *testing.B, batchSize int) {
+	b.ReportAllocs()
+	rows := buildExecBatchTuples()
+	var batches []*tuple.Batch
+	if batchSize > 0 {
+		batches = buildExecBatchBatches(rows, batchSize)
+	}
+	sel := exec.NewSelect(expr.MustParse("severity > 2 AND score <= 90"))
+	gb := exec.NewGroupBy([]string{"src"}, []exec.AggSpec{
+		{Kind: exec.AggCount, As: "cnt"},
+		{Kind: exec.AggSum, Col: "severity", As: "sevsum"},
+	})
+	gb.SetChild(sel)
+	results := 0
+	gb.SetParent(exec.SinkFunc(func(exec.Tag, *tuple.Tuple) { results++ }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := exec.Tag(i + 1) // fresh probe per pass bounds group state
+		if batchSize == 0 {
+			for _, t := range rows {
+				sel.Push(tag, t)
+			}
+		} else {
+			for _, bt := range batches {
+				sel.PushBatch(tag, bt)
+			}
+		}
+		gb.Flush(tag)
+	}
+	b.StopTimer()
+	if results == 0 {
+		b.Fatal("pipeline produced no groups")
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*execBatchRows/secs, "tuples/s")
+	}
+}
+
 // BenchmarkBloomFilter measures membership probes.
 func BenchmarkBloomFilter(b *testing.B) {
 	f := bloom.New(10_000, 0.01)

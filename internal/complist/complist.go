@@ -1,0 +1,107 @@
+// Package complist provides the deferred-compaction dispatch list shared
+// by PIER's multi-tenant registries: the overlay newData subscriber list,
+// the query processor's table-bus shares, and the flush wheel's slots.
+// All three have the same population profile — hundreds of entries, O(1)
+// add, O(1) idempotent remove, deterministic in-order dispatch that may
+// re-enter the list — and all three grew identical hand-rolled copies of
+// the mark-dead + compact machinery. This is the one copy.
+//
+// Semantics (pinned by the call sites' tests):
+//
+//   - Entries are marked dead by their owner (the Dead method reports the
+//     flag); the list is told via NoteDead and reclaims storage once dead
+//     entries outnumber live ones, so churn never leaves a permanent hole.
+//   - Each dispatches in insertion order and snapshots the length on
+//     entry: entries added during a dispatch are not visited for the
+//     in-flight item; entries marked dead mid-dispatch are skipped if not
+//     yet visited.
+//   - Dispatch may nest. Compaction — and the terminal OnEmpty callback —
+//     are deferred until the outermost Each unwinds, so an in-flight
+//     iteration never sees the slice move under it.
+//   - When the last live entry dies, the list retires: OnEmpty fires
+//     exactly once (owners cancel timers/subscriptions and unlink the
+//     list there) and later NoteDead calls are no-ops.
+package complist
+
+// Entry is the element constraint: the owner keeps the dead flag on the
+// entry itself (cancellation must be O(1) without a list scan).
+type Entry interface {
+	Dead() bool
+}
+
+// List is one compacting dispatch list. The zero value is ready to use.
+type List[E Entry] struct {
+	items   []E
+	deadN   int
+	depth   int // >0 while an Each is on the stack
+	onEmpty func()
+	retired bool
+}
+
+// OnEmpty registers the terminal callback, invoked exactly once when the
+// last live entry dies (outside any dispatch).
+func (l *List[E]) OnEmpty(fn func()) { l.onEmpty = fn }
+
+// Add appends an entry. Entries added during a dispatch are not visited
+// for the in-flight item.
+func (l *List[E]) Add(e E) { l.items = append(l.items, e) }
+
+// Len returns the physical entry count (live + not-yet-compacted dead).
+func (l *List[E]) Len() int { return len(l.items) }
+
+// Live returns the live entry count.
+func (l *List[E]) Live() int { return len(l.items) - l.deadN }
+
+// Retired reports whether the list has emptied and fired OnEmpty.
+func (l *List[E]) Retired() bool { return l.retired }
+
+// Each invokes fn on every live entry in insertion order. Re-entrant; see
+// the package docs for the snapshot and deferral rules.
+func (l *List[E]) Each(fn func(E)) {
+	l.depth++
+	limit := len(l.items)
+	for i := 0; i < limit; i++ {
+		if e := l.items[i]; !e.Dead() {
+			fn(e)
+		}
+	}
+	l.depth--
+	l.compact()
+}
+
+// NoteDead records that one entry's dead flag was just set and compacts
+// or retires if due. The owner flips the flag before calling.
+func (l *List[E]) NoteDead() {
+	l.deadN++
+	l.compact()
+}
+
+// compact reclaims dead entries once they outnumber live ones and retires
+// the list when nobody is left. Deferred while a dispatch is on the stack.
+func (l *List[E]) compact() {
+	if l.depth > 0 || l.retired {
+		return
+	}
+	if len(l.items)-l.deadN == 0 {
+		l.retired = true
+		if l.onEmpty != nil {
+			l.onEmpty()
+		}
+		return
+	}
+	if l.deadN*2 <= len(l.items) {
+		return
+	}
+	kept := l.items[:0]
+	for _, e := range l.items {
+		if !e.Dead() {
+			kept = append(kept, e)
+		}
+	}
+	var zero E
+	for i := len(kept); i < len(l.items); i++ {
+		l.items[i] = zero // release for GC
+	}
+	l.items = kept
+	l.deadN = 0
+}

@@ -1,0 +1,179 @@
+package complist
+
+import "testing"
+
+type entry struct {
+	id   int
+	dead bool
+}
+
+func (e *entry) Dead() bool { return e.dead }
+
+func kill(l *List[*entry], e *entry) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	l.NoteDead()
+}
+
+func visit(l *List[*entry]) []int {
+	var ids []int
+	l.Each(func(e *entry) { ids = append(ids, e.id) })
+	return ids
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOrderAndSkipDead(t *testing.T) {
+	var l List[*entry]
+	es := []*entry{{id: 1}, {id: 2}, {id: 3}}
+	for _, e := range es {
+		l.Add(e)
+	}
+	kill(&l, es[1])
+	if got := visit(&l); !eq(got, []int{1, 3}) {
+		t.Fatalf("visit order: %v", got)
+	}
+	if l.Live() != 2 {
+		t.Fatalf("live: %d", l.Live())
+	}
+}
+
+func TestCompactionReclaims(t *testing.T) {
+	var l List[*entry]
+	var es []*entry
+	for i := 0; i < 100; i++ {
+		e := &entry{id: i}
+		es = append(es, e)
+		l.Add(e)
+	}
+	for i := 0; i < 99; i++ {
+		kill(&l, es[i])
+	}
+	if l.Len() > 2 {
+		t.Fatalf("dead entries not compacted: len=%d", l.Len())
+	}
+	if got := visit(&l); !eq(got, []int{99}) {
+		t.Fatalf("survivor: %v", got)
+	}
+}
+
+func TestCancelDuringDispatchSkipsInFlight(t *testing.T) {
+	var l List[*entry]
+	a, b, c := &entry{id: 1}, &entry{id: 2}, &entry{id: 3}
+	l.Add(a)
+	l.Add(b)
+	l.Add(c)
+	var ids []int
+	l.Each(func(e *entry) {
+		ids = append(ids, e.id)
+		if e == a {
+			kill(&l, c) // cancelled before being visited: must be skipped
+		}
+	})
+	if !eq(ids, []int{1, 2}) {
+		t.Fatalf("dispatch visited %v", ids)
+	}
+}
+
+func TestAddDuringDispatchMissesInFlight(t *testing.T) {
+	var l List[*entry]
+	a := &entry{id: 1}
+	l.Add(a)
+	var ids []int
+	l.Each(func(e *entry) {
+		ids = append(ids, e.id)
+		if e == a {
+			l.Add(&entry{id: 2})
+		}
+	})
+	if !eq(ids, []int{1}) {
+		t.Fatalf("in-flight dispatch saw late entry: %v", ids)
+	}
+	if got := visit(&l); !eq(got, []int{1, 2}) {
+		t.Fatalf("next dispatch: %v", got)
+	}
+}
+
+func TestCompactionDeferredWhileNested(t *testing.T) {
+	var l List[*entry]
+	var es []*entry
+	for i := 0; i < 10; i++ {
+		e := &entry{id: i}
+		es = append(es, e)
+		l.Add(e)
+	}
+	l.Each(func(outer *entry) {
+		if outer.id != 0 {
+			return
+		}
+		// Nested dispatch with most entries dying around it: the slice
+		// must not move while either loop is on the stack.
+		for i := 1; i < 9; i++ {
+			kill(&l, es[i])
+		}
+		if l.Len() != 10 {
+			t.Fatalf("compacted during dispatch: len=%d", l.Len())
+		}
+		l.Each(func(*entry) {})
+		if l.Len() != 10 {
+			t.Fatalf("nested Each triggered compaction: len=%d", l.Len())
+		}
+	})
+	if l.Len() > 4 {
+		t.Fatalf("compaction did not run at unwind: len=%d", l.Len())
+	}
+	if got := visit(&l); !eq(got, []int{0, 9}) {
+		t.Fatalf("survivors: %v", got)
+	}
+}
+
+func TestOnEmptyFiresExactlyOnce(t *testing.T) {
+	var l List[*entry]
+	fired := 0
+	l.OnEmpty(func() { fired++ })
+	a, b := &entry{id: 1}, &entry{id: 2}
+	l.Add(a)
+	l.Add(b)
+	kill(&l, a)
+	if fired != 0 {
+		t.Fatalf("fired with a live entry left")
+	}
+	kill(&l, b)
+	if fired != 1 || !l.Retired() {
+		t.Fatalf("fired=%d retired=%v", fired, l.Retired())
+	}
+	// Idempotent: late NoteDead must not re-fire.
+	l.NoteDead()
+	if fired != 1 {
+		t.Fatalf("re-fired after retirement: %d", fired)
+	}
+}
+
+func TestOnEmptyDeferredUntilDispatchUnwinds(t *testing.T) {
+	var l List[*entry]
+	fired := false
+	l.OnEmpty(func() { fired = true })
+	a := &entry{id: 1}
+	l.Add(a)
+	l.Each(func(e *entry) {
+		kill(&l, e)
+		if fired {
+			t.Fatalf("OnEmpty fired inside dispatch")
+		}
+	})
+	if !fired {
+		t.Fatalf("OnEmpty did not fire at unwind")
+	}
+}

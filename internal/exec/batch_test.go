@@ -1,0 +1,349 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pier/internal/expr"
+	"pier/internal/tuple"
+)
+
+// The differential harness behind satellite FuzzBatchVsRowEquivalence:
+// every converted operator must produce the identical output tuple
+// sequence whether its input arrives row-at-a-time (Push, the reference
+// path) or as batches (PushBatch, the vectorized path), for any seeded
+// random input and any batch partitioning. Flush behavior must match too.
+
+// genSchema is the uniform column set of generated rows.
+var genSchema = []string{"severity", "src", "score", "mixed"}
+
+// genRows produces n random rows over genSchema. The mixed column
+// deliberately varies kind so predicates hit malformed rows.
+func genRows(rng *rand.Rand, n int) []*tuple.Tuple {
+	rows := make([]*tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.New("fwlogs").
+			Set("severity", tuple.Int(rng.Int63n(20)-10)).
+			Set("src", tuple.String(fmt.Sprintf("h%d", rng.Intn(4)))).
+			Set("score", tuple.Float(float64(rng.Intn(100))/4)).
+			Set("mixed", genMixed(rng))
+	}
+	return rows
+}
+
+func genMixed(rng *rand.Rand) tuple.Value {
+	switch rng.Intn(4) {
+	case 0:
+		return tuple.Int(rng.Int63n(10))
+	case 1:
+		return tuple.String("x")
+	case 2:
+		return tuple.Null()
+	default:
+		return tuple.Float(rng.NormFloat64())
+	}
+}
+
+// toBatches partitions rows into batches of random sizes, randomly
+// columnar or row-backed (both must behave identically).
+func toBatches(rng *rand.Rand, rows []*tuple.Tuple) []*tuple.Batch {
+	var out []*tuple.Batch
+	for len(rows) > 0 {
+		n := 1 + rng.Intn(len(rows))
+		chunk := rows[:n]
+		rows = rows[n:]
+		if rng.Intn(2) == 0 {
+			out = append(out, tuple.FromTuples(chunk))
+			continue
+		}
+		cb := tuple.NewColumnarBatch("fwlogs", genSchema, n)
+		vals := make([]tuple.Value, len(genSchema))
+		for _, t := range chunk {
+			for c, name := range genSchema {
+				vals[c], _ = t.Get(name)
+			}
+			cb.AppendRow(vals)
+		}
+		out = append(out, cb)
+	}
+	return out
+}
+
+// runBoth drives two freshly built copies of the same operator graph —
+// one row-wise, one batched — over the same rows and returns both output
+// sequences. mk must return the graph's entry Op and a collector wired as
+// its parent.
+func runBoth(rng *rand.Rand, rows []*tuple.Tuple, mk func() (Op, *collect)) (rowOut, batchOut []string) {
+	rowOp, rowC := mk()
+	rowOp.Open(1)
+	for _, t := range rows {
+		rowOp.Push(1, t)
+	}
+	rowOp.Flush(1)
+
+	batchOp, batchC := mk()
+	batchOp.Open(1)
+	for _, b := range toBatches(rng, rows) {
+		PushBatchTo(batchOp, 1, b)
+	}
+	batchOp.Flush(1)
+	return rowC.strings(), batchC.strings()
+}
+
+func diffCheck(t *testing.T, name string, rowOut, batchOut []string) {
+	t.Helper()
+	if len(rowOut) != len(batchOut) {
+		t.Fatalf("%s: row path emitted %d, batch path %d\nrow: %v\nbatch: %v",
+			name, len(rowOut), len(batchOut), rowOut, batchOut)
+	}
+	for i := range rowOut {
+		if rowOut[i] != batchOut[i] {
+			t.Fatalf("%s: output %d differs\nrow:   %s\nbatch: %s", name, i, rowOut[i], batchOut[i])
+		}
+	}
+}
+
+// operator constructors under differential test. Each returns a fresh
+// graph (entry op + collector parent).
+var diffGraphs = []struct {
+	name string
+	mk   func() (Op, *collect)
+}{
+	{"select-compiled", func() (Op, *collect) {
+		s := NewSelect(expr.MustParse("severity > 0 AND mixed >= 2"))
+		c := &collect{}
+		s.SetParent(c)
+		return s, c
+	}},
+	{"select-fallback", func() (Op, *collect) {
+		// Arithmetic is outside the compilable subset: exercises the
+		// row-wise fallback inside PushBatch.
+		s := NewSelect(expr.MustParse("severity + 1 > 0"))
+		c := &collect{}
+		s.SetParent(c)
+		return s, c
+	}},
+	{"project", func() (Op, *collect) {
+		p := NewProject(
+			ProjectCol{Name: "sev2", E: expr.MustParse("severity * 2")},
+			ProjectCol{Name: "who", E: expr.MustParse("src")},
+		)
+		c := &collect{}
+		p.SetParent(c)
+		return p, c
+	}},
+	{"dupelim-keyed", func() (Op, *collect) {
+		d := NewDupElim("src")
+		c := &collect{}
+		d.SetParent(c)
+		return d, c
+	}},
+	{"dupelim-whole", func() (Op, *collect) {
+		d := NewDupElim()
+		c := &collect{}
+		d.SetParent(c)
+		return d, c
+	}},
+	{"limit", func() (Op, *collect) {
+		l := NewLimit(7)
+		c := &collect{}
+		l.SetParent(c)
+		return l, c
+	}},
+	{"groupby", func() (Op, *collect) {
+		g := NewGroupBy([]string{"src"}, []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Col: "severity"},
+			{Kind: AggMax, Col: "score"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-missing-key", func() (Op, *collect) {
+		g := NewGroupBy([]string{"absent"}, []AggSpec{{Kind: AggCount}})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"chain", func() (Op, *collect) {
+		// Select → GroupBy, the shape of the continuous-agg workload.
+		s := NewSelect(expr.MustParse("severity > -5"))
+		g := NewGroupBy([]string{"src"}, []AggSpec{{Kind: AggCount}, {Kind: AggAvg, Col: "score"}})
+		g.SetChild(s)
+		c := &collect{}
+		g.SetParent(c)
+		return s, c
+	}},
+}
+
+func TestBatchVsRowEquivalence(t *testing.T) {
+	for _, tc := range diffGraphs {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			rows := genRows(rng, 1+rng.Intn(120))
+			rowOut, batchOut := runBoth(rng, rows, tc.mk)
+			diffCheck(t, fmt.Sprintf("%s/seed=%d", tc.name, seed), rowOut, batchOut)
+		}
+	}
+}
+
+// The join takes two inputs; drive both sides with interleaved rows.
+func TestJoinBatchVsRowEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		left := genRows(rng, 1+rng.Intn(60))
+		right := genRows(rng, 1+rng.Intn(60))
+
+		mk := func() (*SymmetricHashJoin, *collect) {
+			j := NewSymmetricHashJoin([]string{"src"}, []string{"src"})
+			c := &collect{}
+			j.SetParent(c)
+			return j, c
+		}
+
+		jr, cr := mk()
+		for _, t2 := range left {
+			jr.PushLeft(1, t2)
+		}
+		for _, t2 := range right {
+			jr.PushRight(1, t2)
+		}
+
+		jb, cb := mk()
+		for _, b := range toBatches(rng, left) {
+			jb.PushBatchLeft(1, b)
+		}
+		for _, b := range toBatches(rng, right) {
+			jb.PushBatchRight(1, b)
+		}
+
+		diffCheck(t, fmt.Sprintf("join/seed=%d", seed), cr.strings(), cb.strings())
+		lr, rr := jr.StateSize(1)
+		lb, rb := jb.StateSize(1)
+		if lr != lb || rr != rb {
+			t.Fatalf("seed %d: state size diverged: row (%d,%d) batch (%d,%d)", seed, lr, rr, lb, rb)
+		}
+	}
+}
+
+// The queue must preserve order and flush behavior when buffering whole
+// batches, draining through its deferred-event discipline.
+func TestQueueBatchVsRowEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		rows := genRows(rng, 1+rng.Intn(80))
+
+		run := func(batched bool) []string {
+			var deferred []func()
+			q := NewQueue(func(fn func()) { deferred = append(deferred, fn) })
+			q.Batch = 1 + rng.Intn(10)
+			c := &collect{}
+			q.SetParent(c)
+			if batched {
+				for _, b := range toBatches(rng, rows) {
+					q.PushBatch(1, b)
+				}
+			} else {
+				for _, t2 := range rows {
+					q.Push(1, t2)
+				}
+			}
+			for len(deferred) > 0 {
+				fn := deferred[0]
+				deferred = deferred[1:]
+				fn()
+			}
+			if q.Pending() != 0 {
+				t.Fatalf("seed %d: %d tuples still pending after full drain", seed, q.Pending())
+			}
+			return c.strings()
+		}
+
+		diffCheck(t, fmt.Sprintf("queue/seed=%d", seed), run(false), run(true))
+	}
+}
+
+// Satellite regression: after a burst drains, the queue's buffer must
+// return to baseline instead of pinning its high-water backing array
+// (the rateLimiter aged-entry fix, applied to the drain path).
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	var deferred []func()
+	q := NewQueue(func(fn func()) { deferred = append(deferred, fn) })
+	sink := &collect{}
+	q.SetParent(sink)
+
+	for i := 0; i < 10000; i++ {
+		q.Push(1, row(int64(i)))
+	}
+	if q.Cap() < 10000 {
+		t.Fatalf("burst did not grow the buffer: cap=%d", q.Cap())
+	}
+	for len(deferred) > 0 {
+		fn := deferred[0]
+		deferred = deferred[1:]
+		fn()
+	}
+	if len(sink.tuples) != 10000 {
+		t.Fatalf("drained %d of 10000", len(sink.tuples))
+	}
+	if q.Cap() > queueShrinkCap {
+		t.Fatalf("buffer capacity %d did not return to baseline (<= %d) after burst", q.Cap(), queueShrinkCap)
+	}
+
+	// And the queue still works after shrinking.
+	q.Push(1, row(1))
+	for len(deferred) > 0 {
+		fn := deferred[0]
+		deferred = deferred[1:]
+		fn()
+	}
+	if len(sink.tuples) != 10001 {
+		t.Fatalf("post-shrink push lost: %d", len(sink.tuples))
+	}
+}
+
+// A partially drained oversized buffer (bounded Batch per drain) must
+// also shed capacity once mostly empty.
+func TestQueueShrinksWhenMostlyDrained(t *testing.T) {
+	var deferred []func()
+	q := NewQueue(func(fn func()) { deferred = append(deferred, fn) })
+	q.Batch = 512
+	sink := &collect{}
+	q.SetParent(sink)
+	for i := 0; i < 4096; i++ {
+		q.Push(1, row(int64(i)))
+	}
+	grown := q.Cap()
+	// Drain most of the way but stop before empty.
+	for len(deferred) > 0 && q.Pending() > 512 {
+		fn := deferred[0]
+		deferred = deferred[1:]
+		fn()
+	}
+	if q.Pending() == 0 {
+		t.Fatalf("test drained fully; want a partial state")
+	}
+	if q.Cap() >= grown {
+		t.Fatalf("mostly drained buffer kept cap %d (was %d)", q.Cap(), grown)
+	}
+}
+
+// FuzzBatchVsRowEquivalence fuzzes the full differential harness: any
+// seed and any partitioning must keep the row-wise and batch paths
+// bit-identical across every converted operator graph.
+func FuzzBatchVsRowEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(1234), int64(5678))
+	f.Add(int64(-99), int64(0))
+	f.Fuzz(func(t *testing.T, dataSeed, splitSeed int64) {
+		dataRng := rand.New(rand.NewSource(dataSeed))
+		rows := genRows(dataRng, 1+dataRng.Intn(150))
+		for _, tc := range diffGraphs {
+			rng := rand.New(rand.NewSource(splitSeed))
+			rowOut, batchOut := runBoth(rng, rows, tc.mk)
+			diffCheck(t, tc.name, rowOut, batchOut)
+		}
+	})
+}

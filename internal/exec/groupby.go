@@ -40,6 +40,11 @@ type GroupSet struct {
 
 	groups map[string]*groupEntry
 	order  []string // insertion order, for deterministic emission
+
+	// keyBuf is the reused scratch the batch path builds group keys into;
+	// the bytes must match KeyString exactly (partials merge across nodes
+	// keyed by these strings).
+	keyBuf []byte
 }
 
 type groupEntry struct {
@@ -91,6 +96,104 @@ func (g *GroupSet) Add(t *tuple.Tuple) bool {
 		}
 	}
 	return true
+}
+
+// AddBatch folds a whole batch into the table, returning how many rows
+// were discarded as malformed (missing key column). Keys are built into a
+// reused scratch buffer and the map is read without allocating; for
+// columnar batches every column reference is resolved once up front.
+// Missing aggregate inputs simply do not contribute, as in Add.
+func (g *GroupSet) AddBatch(b *tuple.Batch) (malformed int) {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	if !b.Columnar() {
+		for i := 0; i < n; i++ {
+			t := b.Row(i)
+			kb, ok := t.AppendKey(g.keyBuf[:0], g.Keys)
+			g.keyBuf = kb[:0]
+			if !ok {
+				malformed++
+				continue
+			}
+			e := g.lookupOrCreate(kb, func() *tuple.Tuple {
+				keyTuple := tuple.New(t.Table())
+				for _, kc := range g.Keys {
+					v, _ := t.Get(kc)
+					keyTuple.Set(kc, v)
+				}
+				return keyTuple
+			})
+			for ai, a := range g.Aggs {
+				if a.Col == "" {
+					e.states[ai].Add(tuple.Null())
+					continue
+				}
+				if v, ok := t.Get(a.Col); ok {
+					e.states[ai].Add(v)
+				}
+			}
+		}
+		return malformed
+	}
+	keyIdx := make([]int, len(g.Keys))
+	for i, kc := range g.Keys {
+		ci, ok := b.ColIndex(kc)
+		if !ok {
+			// Key column absent from the uniform schema: every row is
+			// malformed.
+			return n
+		}
+		keyIdx[i] = ci
+	}
+	aggIdx := make([]int, len(g.Aggs))
+	for i, a := range g.Aggs {
+		aggIdx[i] = -1
+		if a.Col == "" {
+			continue
+		}
+		if ci, ok := b.ColIndex(a.Col); ok {
+			aggIdx[i] = ci
+		}
+	}
+	for i := 0; i < n; i++ {
+		kb := b.AppendRowKey(g.keyBuf[:0], i, keyIdx)
+		g.keyBuf = kb[:0]
+		row := i
+		e := g.lookupOrCreate(kb, func() *tuple.Tuple {
+			keyTuple := tuple.New(b.Table())
+			for ki, kc := range g.Keys {
+				keyTuple.Set(kc, b.At(row, keyIdx[ki]))
+			}
+			return keyTuple
+		})
+		for ai, a := range g.Aggs {
+			switch {
+			case a.Col == "":
+				e.states[ai].Add(tuple.Null())
+			case aggIdx[ai] >= 0:
+				e.states[ai].Add(b.At(i, aggIdx[ai]))
+			}
+		}
+	}
+	return malformed
+}
+
+// lookupOrCreate finds the group for a scratch key, materializing the key
+// string and the key tuple only on first sight.
+func (g *GroupSet) lookupOrCreate(kb []byte, mkKey func() *tuple.Tuple) *groupEntry {
+	if e := g.groups[string(kb)]; e != nil {
+		return e
+	}
+	e := &groupEntry{key: mkKey(), states: make([]AggState, len(g.Aggs))}
+	for i, a := range g.Aggs {
+		e.states[i] = NewAggState(a.Kind)
+	}
+	key := string(kb)
+	g.groups[key] = e
+	g.order = append(g.order, key)
+	return e
 }
 
 // Merge folds another GroupSet with the identical spec into this one.
@@ -218,6 +321,18 @@ func (g *GroupBy) Push(tag Tag, t *tuple.Tuple) {
 		g.sets[tag] = set
 	}
 	if !set.Add(t) {
+		g.Dropped.inc()
+	}
+}
+
+// PushBatch absorbs a whole batch into the probe's group table.
+func (g *GroupBy) PushBatch(tag Tag, b *tuple.Batch) {
+	set := g.sets[tag]
+	if set == nil {
+		set = NewGroupSet(g.Keys, g.Aggs)
+		g.sets[tag] = set
+	}
+	for i, n := 0, set.AddBatch(b); i < n; i++ {
 		g.Dropped.inc()
 	}
 }

@@ -14,6 +14,11 @@ import (
 // In distributed plans the two inputs are typically DHT namespaces into
 // which a previous opgraph rehashed the relations (partitioned
 // parallelism, §3.3.6); locally the operator just sees two child streams.
+//
+// The batch path builds join keys into a reused scratch buffer (column
+// indices resolved once per columnar batch), stores row views in pointer
+// buckets so the map read path never allocates, and collects all join
+// outputs of one input batch into a single fresh output batch.
 type SymmetricHashJoin struct {
 	base
 	// LeftKeys/RightKeys are the equijoin columns for each input.
@@ -25,7 +30,36 @@ type SymmetricHashJoin struct {
 	Dropped    Discarded
 
 	left, right   Op
-	leftT, rightT map[Tag]map[string][]*tuple.Tuple
+	leftT, rightT map[Tag]map[string]*joinBucket
+
+	keyBuf []byte
+	outs   []*tuple.Tuple
+}
+
+// joinBucket holds one key's resident tuples. The map stores pointers so
+// appending to a bucket never re-assigns through the map (no per-insert
+// map-assign alloc beyond the first).
+type joinBucket struct {
+	rows []*tuple.Tuple
+}
+
+// joinPort adapts one side of the join to the (Batch)Sink interface, so
+// children wired via SetLeft/SetRight can hand over whole batches.
+type joinPort struct {
+	j     *SymmetricHashJoin
+	right bool
+}
+
+func (p joinPort) Push(tag Tag, t *tuple.Tuple) {
+	if p.right {
+		p.j.pushRight(tag, t)
+	} else {
+		p.j.pushLeft(tag, t)
+	}
+}
+
+func (p joinPort) PushBatch(tag Tag, b *tuple.Batch) {
+	p.j.pushBatch(tag, b, p.right)
 }
 
 // NewSymmetricHashJoin creates a symmetric hash equijoin.
@@ -35,16 +69,16 @@ func NewSymmetricHashJoin(leftKeys, rightKeys []string) *SymmetricHashJoin {
 		RightKeys:  rightKeys,
 		OutTable:   "join",
 		PrefixCols: true,
-		leftT:      make(map[Tag]map[string][]*tuple.Tuple),
-		rightT:     make(map[Tag]map[string][]*tuple.Tuple),
+		leftT:      make(map[Tag]map[string]*joinBucket),
+		rightT:     make(map[Tag]map[string]*joinBucket),
 	}
 }
 
 // SetLeft wires the left input subtree.
-func (j *SymmetricHashJoin) SetLeft(c Op) { j.left = c; c.SetParent(SinkFunc(j.pushLeft)) }
+func (j *SymmetricHashJoin) SetLeft(c Op) { j.left = c; c.SetParent(joinPort{j: j}) }
 
 // SetRight wires the right input subtree.
-func (j *SymmetricHashJoin) SetRight(c Op) { j.right = c; c.SetParent(SinkFunc(j.pushRight)) }
+func (j *SymmetricHashJoin) SetRight(c Op) { j.right = c; c.SetParent(joinPort{j: j, right: true}) }
 
 // Open forwards the probe to both inputs.
 func (j *SymmetricHashJoin) Open(tag Tag) {
@@ -60,12 +94,21 @@ func (j *SymmetricHashJoin) Open(tag Tag) {
 // wired graphs SetLeft/SetRight intercept pushes per side.
 func (j *SymmetricHashJoin) Push(tag Tag, t *tuple.Tuple) { j.pushLeft(tag, t) }
 
+// PushBatch routes a direct batch (no slot information) to the left input.
+func (j *SymmetricHashJoin) PushBatch(tag Tag, b *tuple.Batch) { j.pushBatch(tag, b, false) }
+
 // PushLeft and PushRight are the two input ports, exported for graphs
 // built by hand or by the UFL loader.
 func (j *SymmetricHashJoin) PushLeft(tag Tag, t *tuple.Tuple) { j.pushLeft(tag, t) }
 
 // PushRight delivers a tuple to the right input port.
 func (j *SymmetricHashJoin) PushRight(tag Tag, t *tuple.Tuple) { j.pushRight(tag, t) }
+
+// PushBatchLeft delivers a batch to the left input port.
+func (j *SymmetricHashJoin) PushBatchLeft(tag Tag, b *tuple.Batch) { j.pushBatch(tag, b, false) }
+
+// PushBatchRight delivers a batch to the right input port.
+func (j *SymmetricHashJoin) PushBatchRight(tag Tag, b *tuple.Batch) { j.pushBatch(tag, b, true) }
 
 func (j *SymmetricHashJoin) pushLeft(tag Tag, t *tuple.Tuple) {
 	j.insertAndProbe(tag, t, j.LeftKeys, j.leftT, j.rightT, true)
@@ -75,29 +118,117 @@ func (j *SymmetricHashJoin) pushRight(tag Tag, t *tuple.Tuple) {
 	j.insertAndProbe(tag, t, j.RightKeys, j.rightT, j.leftT, false)
 }
 
+// sideTables returns the key columns, own table, and opposite table for
+// one input side.
+func (j *SymmetricHashJoin) sideTables(right bool) ([]string, map[Tag]map[string]*joinBucket, map[Tag]map[string]*joinBucket) {
+	if right {
+		return j.RightKeys, j.rightT, j.leftT
+	}
+	return j.LeftKeys, j.leftT, j.rightT
+}
+
 func (j *SymmetricHashJoin) insertAndProbe(
 	tag Tag, t *tuple.Tuple, keys []string,
-	mine, theirs map[Tag]map[string][]*tuple.Tuple, fromLeft bool,
+	mine, theirs map[Tag]map[string]*joinBucket, fromLeft bool,
 ) {
-	key, ok := t.KeyString(keys...)
+	kb, ok := t.AppendKey(j.keyBuf[:0], keys)
+	j.keyBuf = kb[:0]
 	if !ok {
 		j.Dropped.inc()
 		return
 	}
 	m := mine[tag]
 	if m == nil {
-		m = make(map[string][]*tuple.Tuple)
+		m = make(map[string]*joinBucket)
 		mine[tag] = m
 	}
-	m[key] = append(m[key], t)
-	for _, match := range theirs[tag][key] {
-		var out *tuple.Tuple
-		if fromLeft {
-			out = tuple.Join(j.OutTable, t, match, j.PrefixCols)
-		} else {
-			out = tuple.Join(j.OutTable, match, t, j.PrefixCols)
+	bkt := m[string(kb)]
+	if bkt == nil {
+		bkt = &joinBucket{}
+		m[string(kb)] = bkt
+	}
+	bkt.rows = append(bkt.rows, t)
+	if other := theirs[tag][string(kb)]; other != nil {
+		for _, match := range other.rows {
+			j.emit(tag, j.joinRow(t, match, fromLeft))
 		}
-		j.emit(tag, out)
+	}
+}
+
+// joinRow combines the arriving tuple with one match, preserving
+// left-before-right column order.
+func (j *SymmetricHashJoin) joinRow(t, match *tuple.Tuple, fromLeft bool) *tuple.Tuple {
+	if fromLeft {
+		return tuple.Join(j.OutTable, t, match, j.PrefixCols)
+	}
+	return tuple.Join(j.OutTable, match, t, j.PrefixCols)
+}
+
+// pushBatch inserts and probes every row of the batch, emitting all join
+// outputs as one batch. Row views materialized at insert are retained in
+// the hash table (allowed by the batch ownership contract).
+func (j *SymmetricHashJoin) pushBatch(tag Tag, b *tuple.Batch, right bool) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	keys, mineT, theirsT := j.sideTables(right)
+	var colIdx []int
+	if b.Columnar() {
+		colIdx = make([]int, len(keys))
+		for i, c := range keys {
+			ci, ok := b.ColIndex(c)
+			if !ok {
+				// Key column absent from the uniform schema: every row
+				// malformed.
+				for r := 0; r < n; r++ {
+					j.Dropped.inc()
+				}
+				return
+			}
+			colIdx[i] = ci
+		}
+	}
+	m := mineT[tag]
+	if m == nil {
+		m = make(map[string]*joinBucket)
+		mineT[tag] = m
+	}
+	theirs := theirsT[tag]
+	j.outs = j.outs[:0]
+	for i := 0; i < n; i++ {
+		var kb []byte
+		if colIdx != nil {
+			kb = b.AppendRowKey(j.keyBuf[:0], i, colIdx)
+		} else {
+			var ok bool
+			kb, ok = b.Row(i).AppendKey(j.keyBuf[:0], keys)
+			if !ok {
+				j.keyBuf = kb[:0]
+				j.Dropped.inc()
+				continue
+			}
+		}
+		j.keyBuf = kb[:0]
+		t := b.Row(i)
+		bkt := m[string(kb)]
+		if bkt == nil {
+			bkt = &joinBucket{}
+			m[string(kb)] = bkt
+		}
+		bkt.rows = append(bkt.rows, t)
+		if other := theirs[string(kb)]; other != nil {
+			for _, match := range other.rows {
+				j.outs = append(j.outs, j.joinRow(t, match, !right))
+			}
+		}
+	}
+	switch len(j.outs) {
+	case 0:
+	case 1:
+		j.emit(tag, j.outs[0])
+	default:
+		j.emitBatch(tag, tuple.FromTuples(append([]*tuple.Tuple(nil), j.outs...)))
 	}
 }
 
@@ -114,8 +245,8 @@ func (j *SymmetricHashJoin) Flush(tag Tag) {
 
 // Close drops both hash tables.
 func (j *SymmetricHashJoin) Close() {
-	j.leftT = make(map[Tag]map[string][]*tuple.Tuple)
-	j.rightT = make(map[Tag]map[string][]*tuple.Tuple)
+	j.leftT = make(map[Tag]map[string]*joinBucket)
+	j.rightT = make(map[Tag]map[string]*joinBucket)
 	if j.left != nil {
 		j.left.Close()
 	}
@@ -128,10 +259,10 @@ func (j *SymmetricHashJoin) Close() {
 // instrumentation.
 func (j *SymmetricHashJoin) StateSize(tag Tag) (left, right int) {
 	for _, v := range j.leftT[tag] {
-		left += len(v)
+		left += len(v.rows)
 	}
 	for _, v := range j.rightT[tag] {
-		right += len(v)
+		right += len(v.rows)
 	}
 	return
 }

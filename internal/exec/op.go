@@ -16,6 +16,33 @@
 // Operators needing network services (DHT scans, rehash/put, Fetch
 // Matches joins, hierarchical aggregation) are assembled in package qp;
 // this package is purely node-local.
+//
+// # Vectorized execution and the batch ownership contract
+//
+// Data flows between operators as *tuple.Batch values: converted
+// operators implement BatchSink and process whole batches (column
+// indices resolved once, predicates compiled to vectorized loops, group
+// keys built without allocation); Push remains as the row-wise
+// compatibility path, and PushBatchTo bridges to sinks that only
+// implement Sink by materializing rows.
+//
+// A batch handed downstream is governed by the same rules as a shared
+// dispatched tuple (internal/overlay/subs.go):
+//
+//   - A *tuple.Batch received from Push/PushBatch is SHARED — a Tee or
+//     the table bus hands the SAME batch to every consumer — and
+//     READ-ONLY. No operator may mutate its values, its selection, or a
+//     row view obtained from it.
+//   - RETAINING a batch or a Row(i) view past the call is allowed (both
+//     are immutable under the contract): Queue buffers batches, join
+//     state holds row views. Column slices never escape except through
+//     row views, which cap their slices so an erroneous append cannot
+//     write into shared storage.
+//   - An operator that needs a VARIANT builds a new batch: filtering
+//     derives a selection view (SelectLogical — the parent batch is
+//     untouched), projection and join construct fresh batches/tuples.
+//   - Scratch row views (Batch.RowInto) are valid only within the
+//     operator's own call frame and must never be emitted downstream.
 package exec
 
 import (
@@ -53,6 +80,29 @@ type Op interface {
 	Close()
 }
 
+// BatchSink is the vectorized extension of Sink: converted operators
+// accept whole tuple batches, subject to the batch ownership contract in
+// the package docs. Sinks that do not implement it receive rows via
+// PushBatchTo's materializing fallback.
+type BatchSink interface {
+	Sink
+	// PushBatch delivers one shared read-only batch produced under the
+	// given probe tag. Like Push, it must not block.
+	PushBatch(tag Tag, b *tuple.Batch)
+}
+
+// PushBatchTo delivers a batch to any sink: batch-native sinks receive
+// it whole; row-only sinks receive each row in order.
+func PushBatchTo(s Sink, tag Tag, b *tuple.Batch) {
+	if bs, ok := s.(BatchSink); ok {
+		bs.PushBatch(tag, b)
+		return
+	}
+	for i, n := 0, b.Len(); i < n; i++ {
+		s.Push(tag, b.Row(i))
+	}
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(tag Tag, t *tuple.Tuple)
 
@@ -71,6 +121,13 @@ func (b *base) SetParent(s Sink) { b.parent = s }
 func (b *base) emit(tag Tag, t *tuple.Tuple) {
 	if b.parent != nil {
 		b.parent.Push(tag, t)
+	}
+}
+
+// emitBatch pushes a batch to the parent if one is wired.
+func (b *base) emitBatch(tag Tag, batch *tuple.Batch) {
+	if b.parent != nil {
+		PushBatchTo(b.parent, tag, batch)
 	}
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"pier/internal/expr"
 	"pier/internal/tuple"
+	"pier/internal/wire"
 )
 
 // Input is the generic access-method endpoint: external code (a DHT scan,
@@ -45,6 +46,14 @@ func (i *Input) Push(_ Tag, t *tuple.Tuple) {
 	}
 }
 
+// PushBatch injects a shared read-only batch from the external source
+// (the table bus and the catch-up scan hand decoded frames here).
+func (i *Input) PushBatch(_ Tag, b *tuple.Batch) {
+	if i.opened {
+		i.emitBatch(i.tag, b)
+	}
+}
+
 // Inject is a convenience for external code that has no tag of its own.
 func (i *Input) Inject(t *tuple.Tuple) { i.Push(0, t) }
 
@@ -56,12 +65,26 @@ func (i *Input) Close() { i.opened = false }
 
 // Select filters tuples by a predicate. Tuples for which the predicate is
 // malformed (missing field, type mismatch) are discarded, per §3.3.4.
+//
+// The batch path compiles the predicate once (expr.CompilePred) into a
+// vectorized loop over typed columns; batches outside the compilable
+// subset — or row-backed batches — evaluate row-wise through a scratch
+// view. Either way the output is a selection view over the input batch:
+// the shared input is never mutated.
 type Select struct {
 	base
 	Pred expr.Expr
 	// Dropped counts tuples discarded as malformed (not merely filtered).
 	Dropped Discarded
 	child   Op
+
+	// compiled is the vectorized predicate, built lazily on the first
+	// batch (Pred must not change after execution starts).
+	compiled     expr.BatchPred
+	compiledInit bool
+	res          []int8
+	keep         []int32
+	scratch      tuple.Tuple
 }
 
 // NewSelect creates a selection with the given predicate.
@@ -77,7 +100,7 @@ func (s *Select) Open(tag Tag) {
 	}
 }
 
-// Push applies the predicate.
+// Push applies the predicate row-wise (the compatibility path).
 func (s *Select) Push(tag Tag, t *tuple.Tuple) {
 	v, ok := s.Pred.Eval(t)
 	if !ok {
@@ -91,6 +114,62 @@ func (s *Select) Push(tag Tag, t *tuple.Tuple) {
 	}
 	if b {
 		s.emit(tag, t)
+	}
+}
+
+// PushBatch applies the predicate to a whole batch, emitting a selection
+// view of the passing rows. All-pass batches are forwarded unchanged and
+// all-fail batches allocate nothing.
+func (s *Select) PushBatch(tag Tag, b *tuple.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if !s.compiledInit {
+		s.compiledInit = true
+		s.compiled = expr.CompilePred(s.Pred)
+	}
+	s.keep = s.keep[:0]
+	if s.compiled != nil && b.Columnar() {
+		if cap(s.res) < n {
+			s.res = make([]int8, n)
+		}
+		res := s.res[:n]
+		s.compiled(b, res)
+		for i, r := range res {
+			switch r {
+			case expr.RowPass:
+				s.keep = append(s.keep, int32(i))
+			case expr.RowMalformed:
+				s.Dropped.inc()
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			b.RowInto(i, &s.scratch)
+			v, ok := s.Pred.Eval(&s.scratch)
+			if !ok {
+				s.Dropped.inc()
+				continue
+			}
+			bv, ok := v.AsBool()
+			if !ok {
+				s.Dropped.inc()
+				continue
+			}
+			if bv {
+				s.keep = append(s.keep, int32(i))
+			}
+		}
+	}
+	switch len(s.keep) {
+	case 0:
+	case n:
+		s.emitBatch(tag, b)
+	default:
+		// The derived view retains its selection, so hand over a fresh
+		// slice rather than the reused scratch.
+		s.emitBatch(tag, b.SelectLogical(append([]int32(nil), s.keep...)))
 	}
 }
 
@@ -121,6 +200,10 @@ type Project struct {
 	Cols    []ProjectCol
 	Dropped Discarded
 	child   Op
+
+	names   []string // output schema, built once
+	rowVals []tuple.Value
+	scratch tuple.Tuple
 }
 
 // NewProject creates a projection.
@@ -148,6 +231,71 @@ func (p *Project) Push(tag Tag, t *tuple.Tuple) {
 		out.Set(c.Name, v)
 	}
 	p.emit(tag, out)
+}
+
+// PushBatch evaluates the projection over a whole batch into one fresh
+// columnar output batch (the projection's schema is uniform by
+// construction), reusing a scratch row view and value row across rows.
+func (p *Project) PushBatch(tag Tag, b *tuple.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if !b.Columnar() {
+		// Row-backed batches may mix table names; keep the per-row
+		// output table of the compatibility path.
+		var outs []*tuple.Tuple
+		for i := 0; i < n; i++ {
+			t := b.Row(i)
+			out := tuple.New(t.Table())
+			ok := true
+			for _, c := range p.Cols {
+				v, vok := c.E.Eval(t)
+				if !vok {
+					p.Dropped.inc()
+					ok = false
+					break
+				}
+				out.Set(c.Name, v)
+			}
+			if ok {
+				outs = append(outs, out)
+			}
+		}
+		if len(outs) > 0 {
+			p.emitBatch(tag, tuple.FromTuples(outs))
+		}
+		return
+	}
+	if p.names == nil {
+		p.names = make([]string, len(p.Cols))
+		for i, c := range p.Cols {
+			p.names[i] = c.Name
+		}
+	}
+	out := tuple.NewColumnarBatch(b.Table(), p.names, n)
+	if cap(p.rowVals) < len(p.Cols) {
+		p.rowVals = make([]tuple.Value, len(p.Cols))
+	}
+	row := p.rowVals[:len(p.Cols)]
+	emitted := 0
+rows:
+	for i := 0; i < n; i++ {
+		b.RowInto(i, &p.scratch)
+		for c := range p.Cols {
+			v, ok := p.Cols[c].E.Eval(&p.scratch)
+			if !ok {
+				p.Dropped.inc()
+				continue rows
+			}
+			row[c] = v
+		}
+		out.AppendRow(row)
+		emitted++
+	}
+	if emitted > 0 {
+		p.emitBatch(tag, out)
+	}
 }
 
 // Flush forwards to the child.
@@ -198,6 +346,14 @@ func (t *Tee) Push(tag Tag, tp *tuple.Tuple) {
 	}
 }
 
+// PushBatch replicates the SAME shared batch to every parent (read-only
+// by contract, so no copies are needed).
+func (t *Tee) PushBatch(tag Tag, b *tuple.Batch) {
+	for _, p := range t.parents {
+		PushBatchTo(p, tag, b)
+	}
+}
+
 // Flush forwards to the child.
 func (t *Tee) Flush(tag Tag) {
 	if t.child != nil {
@@ -235,6 +391,9 @@ func (u *Union) Open(tag Tag) {
 // Push forwards any child's tuple upstream.
 func (u *Union) Push(tag Tag, t *tuple.Tuple) { u.emit(tag, t) }
 
+// PushBatch forwards any child's batch upstream.
+func (u *Union) PushBatch(tag Tag, b *tuple.Batch) { u.emitBatch(tag, b) }
+
 // Flush forwards to all children.
 func (u *Union) Flush(tag Tag) {
 	for _, c := range u.children {
@@ -259,6 +418,10 @@ type DupElim struct {
 	Dropped Discarded
 	seen    map[Tag]map[string]struct{}
 	child   Op
+
+	keyBuf []byte
+	keep   []int32
+	enc    wire.Writer
 }
 
 // NewDupElim creates a duplicate-eliminator over whole tuples.
@@ -299,6 +462,71 @@ func (d *DupElim) Push(tag Tag, t *tuple.Tuple) {
 	}
 	set[key] = struct{}{}
 	d.emit(tag, t)
+}
+
+// PushBatch suppresses duplicates across a whole batch, emitting a
+// selection view of the first-seen rows. Keys are built into a reused
+// scratch buffer; the map lookup converts without allocating, and the
+// key string is only materialized when a new entry is inserted.
+func (d *DupElim) PushBatch(tag Tag, b *tuple.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	set := d.seen[tag]
+	if set == nil {
+		set = make(map[string]struct{})
+		d.seen[tag] = set
+	}
+	var colIdx []int
+	if len(d.KeyCols) > 0 && b.Columnar() {
+		colIdx = make([]int, len(d.KeyCols))
+		for i, c := range d.KeyCols {
+			ci, ok := b.ColIndex(c)
+			if !ok {
+				// Column absent from the uniform schema: every row is
+				// malformed for this key.
+				for r := 0; r < n; r++ {
+					d.Dropped.inc()
+				}
+				return
+			}
+			colIdx[i] = ci
+		}
+	}
+	d.keep = d.keep[:0]
+	for i := 0; i < n; i++ {
+		var key []byte
+		switch {
+		case colIdx != nil:
+			d.keyBuf = b.AppendRowKey(d.keyBuf[:0], i, colIdx)
+			key = d.keyBuf
+		case len(d.KeyCols) > 0:
+			kb, ok := b.Row(i).AppendKey(d.keyBuf[:0], d.KeyCols)
+			if !ok {
+				d.Dropped.inc()
+				continue
+			}
+			d.keyBuf = kb
+			key = d.keyBuf
+		default:
+			d.enc.Reset()
+			b.EncodeRowTo(i, &d.enc)
+			key = d.enc.Bytes()
+		}
+		if _, dup := set[string(key)]; dup {
+			continue
+		}
+		set[string(key)] = struct{}{}
+		d.keep = append(d.keep, int32(i))
+	}
+	switch len(d.keep) {
+	case 0:
+	case n:
+		d.emitBatch(tag, b)
+	default:
+		d.emitBatch(tag, b.SelectLogical(append([]int32(nil), d.keep...)))
+	}
 }
 
 // Flush forwards to the child.
@@ -346,6 +574,22 @@ func (l *Limit) Push(tag Tag, t *tuple.Tuple) {
 	l.emit(tag, t)
 }
 
+// PushBatch forwards a prefix of the batch up to the per-probe quota.
+func (l *Limit) PushBatch(tag Tag, b *tuple.Batch) {
+	rem := l.N - l.count[tag]
+	if rem <= 0 {
+		return
+	}
+	n := b.Len()
+	if n <= rem {
+		l.count[tag] += n
+		l.emitBatch(tag, b)
+		return
+	}
+	l.count[tag] += rem
+	l.emitBatch(tag, b.Prefix(rem))
+}
+
 // Flush forwards to the child.
 func (l *Limit) Flush(tag Tag) {
 	if l.child != nil {
@@ -389,6 +633,17 @@ func (r *Result) Open(tag Tag) {
 func (r *Result) Push(tag Tag, t *tuple.Tuple) {
 	if r.Fn != nil {
 		r.Fn(tag, t)
+	}
+}
+
+// PushBatch invokes the application callback once per row — the handler
+// boundary is row-oriented (client delivery is per result tuple).
+func (r *Result) PushBatch(tag Tag, b *tuple.Batch) {
+	if r.Fn == nil {
+		return
+	}
+	for i, n := 0, b.Len(); i < n; i++ {
+		r.Fn(tag, b.Row(i))
 	}
 }
 

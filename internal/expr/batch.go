@@ -1,0 +1,241 @@
+package expr
+
+import (
+	"pier/internal/tuple"
+)
+
+// Vectorized predicate compilation. CompilePred turns the hot predicate
+// shapes — Col, Const, Cmp, And, Or, Not over them — into a closure that
+// evaluates a whole columnar batch into a per-row tri-state result,
+// resolving each column reference to an index ONCE per batch instead of
+// a name scan per row, and replacing the interface-dispatched Eval tree
+// walk with tight loops. Anything outside that shape (arithmetic,
+// functions) stays on the row-wise Eval fallback in the operators.
+//
+// The tri-state per row mirrors the best-effort typing policy: a row can
+// pass, fail, or be malformed (missing column, incomparable kinds) — the
+// operator discards malformed rows exactly as row-wise Eval would.
+// Short-circuit semantics match Eval precisely: And with a false left is
+// false even when the right side is malformed; Or with a true left is
+// true likewise; a malformed left poisons the row either way.
+
+// Per-row batch-predicate results.
+const (
+	RowFail      int8 = 0
+	RowPass      int8 = 1
+	RowMalformed int8 = -1
+)
+
+// BatchPred evaluates a predicate over every selected row of a columnar
+// batch, writing one tri-state per row into out (len out == b.Len()).
+// A BatchPred carries internal scratch buffers and is NOT safe for
+// concurrent use; each operator instance compiles its own.
+type BatchPred func(b *tuple.Batch, out []int8)
+
+// CompilePred compiles e into a vectorized predicate, or returns nil
+// when e contains a node outside the compilable subset.
+func CompilePred(e Expr) BatchPred {
+	switch n := e.(type) {
+	case Const:
+		bv, ok := n.Val.AsBool()
+		code := RowMalformed
+		if ok {
+			if bv {
+				code = RowPass
+			} else {
+				code = RowFail
+			}
+		}
+		return func(b *tuple.Batch, out []int8) {
+			for i := range out {
+				out[i] = code
+			}
+		}
+	case Col:
+		name := n.Name
+		return func(b *tuple.Batch, out []int8) {
+			c, ok := b.ColIndex(name)
+			if !ok {
+				fill(out, RowMalformed)
+				return
+			}
+			for i := range out {
+				out[i] = boolCode(b.At(i, c))
+			}
+		}
+	case Cmp:
+		return compileCmp(n)
+	case And:
+		l, r := CompilePred(n.L), CompilePred(n.R)
+		if l == nil || r == nil {
+			return nil
+		}
+		var scratch []int8
+		return func(b *tuple.Batch, out []int8) {
+			l(b, out)
+			scratch = resize(scratch, len(out))
+			r(b, scratch)
+			for i, lv := range out {
+				// Short-circuit: false left decides, malformed left poisons.
+				if lv == RowPass {
+					out[i] = scratch[i]
+				}
+			}
+		}
+	case Or:
+		l, r := CompilePred(n.L), CompilePred(n.R)
+		if l == nil || r == nil {
+			return nil
+		}
+		var scratch []int8
+		return func(b *tuple.Batch, out []int8) {
+			l(b, out)
+			scratch = resize(scratch, len(out))
+			r(b, scratch)
+			for i, lv := range out {
+				if lv == RowFail {
+					out[i] = scratch[i]
+				}
+			}
+		}
+	case Not:
+		inner := CompilePred(n.E)
+		if inner == nil {
+			return nil
+		}
+		return func(b *tuple.Batch, out []int8) {
+			inner(b, out)
+			for i, v := range out {
+				switch v {
+				case RowPass:
+					out[i] = RowFail
+				case RowFail:
+					out[i] = RowPass
+				}
+			}
+		}
+	default:
+		return nil
+	}
+}
+
+// operand loads one side of a comparison for every row. It returns the
+// value and false when the row is malformed for this operand.
+type operand func(b *tuple.Batch, col int, i int) (tuple.Value, bool)
+
+// compileCmp handles Cmp whose operands are Col or Const.
+func compileCmp(c Cmp) BatchPred {
+	op := c.Op
+	lcol, lConst, lok := cmpOperand(c.L)
+	rcol, rConst, rok := cmpOperand(c.R)
+	if !lok || !rok {
+		return nil
+	}
+	tbl := cmpTable(op)
+	return func(b *tuple.Batch, out []int8) {
+		li, ri := -1, -1
+		if lcol != "" {
+			ci, ok := b.ColIndex(lcol)
+			if !ok {
+				fill(out, RowMalformed)
+				return
+			}
+			li = ci
+		}
+		if rcol != "" {
+			ci, ok := b.ColIndex(rcol)
+			if !ok {
+				fill(out, RowMalformed)
+				return
+			}
+			ri = ci
+		}
+		if b.CmpKernel(li, lConst, ri, rConst, &tbl, out) {
+			return
+		}
+		for i := range out {
+			lv := lConst
+			if li >= 0 {
+				lv = b.At(i, li)
+			}
+			rv := rConst
+			if ri >= 0 {
+				rv = b.At(i, ri)
+			}
+			cmp, ok := tuple.Compare(lv, rv)
+			if !ok {
+				out[i] = RowMalformed
+				continue
+			}
+			out[i] = tbl[cmp+1]
+		}
+	}
+}
+
+// cmpTable precomputes op's tri-state for each Compare outcome, indexed
+// by cmp+1, so the per-row loop does a table load instead of a switch.
+func cmpTable(op CmpOp) (tbl [3]int8) {
+	for cmp := -1; cmp <= 1; cmp++ {
+		tbl[cmp+1] = cmpCode(op, cmp)
+	}
+	return tbl
+}
+
+// cmpOperand classifies a comparison operand: (column name, "", true)
+// for Col, ("", value, true) for Const, ok=false otherwise.
+func cmpOperand(e Expr) (col string, v tuple.Value, ok bool) {
+	switch n := e.(type) {
+	case Col:
+		return n.Name, tuple.Value{}, true
+	case Const:
+		return "", n.Val, true
+	default:
+		return "", tuple.Value{}, false
+	}
+}
+
+func cmpCode(op CmpOp, cmp int) int8 {
+	var b bool
+	switch op {
+	case EQ:
+		b = cmp == 0
+	case NE:
+		b = cmp != 0
+	case LT:
+		b = cmp < 0
+	case LE:
+		b = cmp <= 0
+	case GT:
+		b = cmp > 0
+	case GE:
+		b = cmp >= 0
+	}
+	if b {
+		return RowPass
+	}
+	return RowFail
+}
+
+func boolCode(v tuple.Value) int8 {
+	b, ok := v.AsBool()
+	if !ok {
+		return RowMalformed
+	}
+	if b {
+		return RowPass
+	}
+	return RowFail
+}
+
+func fill(out []int8, code int8) {
+	for i := range out {
+		out[i] = code
+	}
+}
+
+func resize(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"pier/internal/complist"
 	"pier/internal/tuple"
 )
 
@@ -12,28 +13,30 @@ import (
 //
 //   - O(1) amortized add and remove. Cancelling a subscription never
 //     leaves a permanent hole: dead entries are compacted away once they
-//     outnumber live ones, so a node that opens and closes 10k queries
-//     ends exactly where it started (no leak, unlike the append-only
-//     callback slice this replaces).
+//     outnumber live ones (complist.List), so a node that opens and
+//     closes 10k queries ends exactly where it started.
 //   - Deterministic dispatch order: subscribers run in subscription
 //     order, which under the sharded scheduler is fixed by the node's
 //     event order — the property every harness's bit-identical-results
 //     contract rests on.
-//   - Decode-once tuple handoff: an arriving object's payload is decoded
-//     into a *tuple.Tuple at most once per arrival, and the SAME tuple is
-//     handed to every tuple subscriber. The handoff is read-only by
-//     contract (see below); per-subscriber decoding made the dispatch
-//     cost of a publish O(subscribers × decode) instead of O(decode +
-//     subscribers).
+//   - Decode-once batch handoff: an arriving object's payload is decoded
+//     into a *tuple.Batch at most once per arrival (tuple.DecodeFrame
+//     accepts multi-row frames and legacy single-tuple encodings alike),
+//     and the SAME batch is handed to every batch subscriber; tuple
+//     subscribers receive the batch's rows one by one. The handoff is
+//     read-only by contract (see below); per-subscriber decoding made
+//     the dispatch cost of a publish O(subscribers × decode) instead of
+//     O(decode + subscribers).
 //
 // Ownership/handoff contract (the registry-side companion of the PR 4
-// payload rules in messages.go): the Object and the decoded tuple handed
-// to a subscriber are SHARED — every other subscriber of the namespace
-// receives the same values, and the store retains the Object's bytes.
-// Subscribers must treat both as read-only; a dataflow that needs a
-// mutated variant builds a new tuple (exec operators already do: Project
-// and Join construct fresh tuples, aggregation folds values into its own
-// state). Retaining the tuple past the handler is allowed — tuples are
+// payload rules in messages.go): the Object, the decoded batch, and the
+// tuples handed to a subscriber are SHARED — every other subscriber of
+// the namespace receives the same values, and the store retains the
+// Object's bytes. Subscribers must treat all of them as read-only; a
+// dataflow that needs a mutated variant builds a new tuple or batch
+// (exec operators already do: Project and Join construct fresh tuples,
+// selection derives views, aggregation folds values into its own state).
+// Retaining the batch or a tuple past the handler is allowed — both are
 // immutable under this contract — but retaining obj.Data aliases the
 // store's copy and must be copied first.
 //
@@ -56,8 +59,12 @@ type Subscription struct {
 	reg  *subRegistry
 	fn   func(Object)
 	tfn  func(Object, *tuple.Tuple)
+	bfn  func(Object, *tuple.Batch)
 	dead bool
 }
+
+// Dead reports whether the subscription was cancelled (complist.Entry).
+func (s *Subscription) Dead() bool { return s.dead }
 
 // Cancel removes the subscription. Safe to call from within a dispatch
 // (the subscriber is skipped for the in-flight object) and safe to call
@@ -67,17 +74,14 @@ func (s *Subscription) Cancel() {
 		return
 	}
 	s.dead = true
-	s.ns.deadN++
 	s.reg.live--
-	s.reg.compact(s.ns)
+	s.ns.list.NoteDead()
 }
 
 // nsSubs is one namespace's subscriber list, in subscription order.
 type nsSubs struct {
-	name  string
-	subs  []*Subscription
-	deadN int
-	depth int // >0 while dispatching; defers compaction and map removal
+	name string
+	list complist.List[*Subscription]
 }
 
 // subRegistry holds every namespace's subscribers plus the dispatch
@@ -87,22 +91,24 @@ type subRegistry struct {
 	live int
 
 	dispatches uint64 // objects dispatched to >=1 subscriber's namespace
-	decodes    uint64 // tuple decodes performed (at most one per arrival)
-	malformed  uint64 // arrivals whose payload failed tuple decode
+	decodes    uint64 // frame decodes performed (at most one per arrival)
+	malformed  uint64 // arrivals whose payload failed frame decode
 }
 
 func newSubRegistry() *subRegistry {
 	return &subRegistry{byNS: make(map[string]*nsSubs)}
 }
 
-func (r *subRegistry) add(namespace string, fn func(Object), tfn func(Object, *tuple.Tuple)) *Subscription {
+func (r *subRegistry) add(namespace string, s *Subscription) *Subscription {
 	ns := r.byNS[namespace]
 	if ns == nil {
 		ns = &nsSubs{name: namespace}
+		ns.list.OnEmpty(func() { delete(r.byNS, ns.name) })
 		r.byNS[namespace] = ns
 	}
-	s := &Subscription{ns: ns, reg: r, fn: fn, tfn: tfn}
-	ns.subs = append(ns.subs, s)
+	s.ns = ns
+	s.reg = r
+	ns.list.Add(s)
 	r.live++
 	return s
 }
@@ -115,65 +121,44 @@ func (r *subRegistry) dispatch(obj Object) {
 		return
 	}
 	r.dispatches++
-	ns.depth++
-	var t *tuple.Tuple
+	var b *tuple.Batch
+	var rows []*tuple.Tuple // columnar row views, materialized at most once
 	decoded := false
-	// Snapshot the length: subscribers added during this dispatch start
-	// with the next arrival.
-	limit := len(ns.subs)
-	for i := 0; i < limit; i++ {
-		s := ns.subs[i]
-		if s.dead {
-			continue
-		}
-		if s.tfn == nil {
+	ns.list.Each(func(s *Subscription) {
+		if s.fn != nil {
 			s.fn(obj)
-			continue
+			return
 		}
 		if !decoded {
 			decoded = true
 			r.decodes++
-			tt, err := tuple.Decode(obj.Data)
+			bb, err := tuple.DecodeFrame(obj.Data)
 			if err != nil {
 				r.malformed++
 			} else {
-				t = tt
+				b = bb
 			}
 		}
-		if t != nil {
-			s.tfn(obj, t)
+		if b == nil {
+			return
 		}
-	}
-	ns.depth--
-	r.compact(ns)
-}
-
-// compact reclaims dead entries once they outnumber live ones and drops
-// the namespace when nobody is left. Deferred while a dispatch is on the
-// stack so an in-flight iteration never sees the slice move under it.
-func (r *subRegistry) compact(ns *nsSubs) {
-	if ns.depth > 0 {
-		return
-	}
-	liveN := len(ns.subs) - ns.deadN
-	if liveN == 0 {
-		delete(r.byNS, ns.name)
-		return
-	}
-	if ns.deadN*2 <= len(ns.subs) {
-		return
-	}
-	kept := ns.subs[:0]
-	for _, s := range ns.subs {
-		if !s.dead {
-			kept = append(kept, s)
+		if s.bfn != nil {
+			s.bfn(obj, b)
+			return
 		}
-	}
-	for i := len(kept); i < len(ns.subs); i++ {
-		ns.subs[i] = nil // release for GC
-	}
-	ns.subs = kept
-	ns.deadN = 0
+		if b.Columnar() {
+			if rows == nil {
+				rows = b.Tuples(nil)
+			}
+			for _, t := range rows {
+				s.tfn(obj, t)
+			}
+			return
+		}
+		for i, n := 0, b.Len(); i < n; i++ {
+			s.tfn(obj, b.Row(i))
+		}
+	})
 }
 
 // count returns the live subscriber count for one namespace.
@@ -182,7 +167,7 @@ func (r *subRegistry) count(namespace string) int {
 	if ns == nil {
 		return 0
 	}
-	return len(ns.subs) - ns.deadN
+	return ns.list.Live()
 }
 
 // SubscriptionStats is the registry's observability surface.
@@ -195,11 +180,13 @@ type SubscriptionStats struct {
 	Namespaces int
 	// Dispatches counts arrivals delivered into a subscribed namespace.
 	Dispatches uint64
-	// Decodes counts tuple decodes performed — at most one per arrival,
-	// shared by every tuple subscriber (the decode-once contract).
+	// Decodes counts frame decodes performed — at most one per arrival,
+	// shared by every tuple and batch subscriber (the decode-once
+	// contract).
 	Decodes uint64
-	// Malformed counts arrivals whose payload failed tuple decode; tuple
-	// subscribers never see those objects (raw subscribers still do).
+	// Malformed counts arrivals whose payload failed frame decode; tuple
+	// and batch subscribers never see those objects (raw subscribers
+	// still do).
 	Malformed uint64
 }
 
@@ -207,18 +194,25 @@ type SubscriptionStats struct {
 // at this node, as raw Objects. It is the registry-backed generalization
 // of OnNewData: O(1) add/remove and no slot leak on Cancel.
 func (d *DHT) Subscribe(namespace string, fn func(Object)) *Subscription {
-	return d.subs.add(namespace, fn, nil)
+	return d.subs.add(namespace, &Subscription{fn: fn})
 }
 
-// SubscribeTuples registers fn to receive every new object in namespace
-// together with its payload decoded as a PIER tuple. The decode happens
-// at most ONCE per arriving object no matter how many tuple subscribers
-// the namespace has; all of them receive the same shared, read-only
-// *tuple.Tuple (see the handoff contract above). Objects whose payload
-// does not decode are counted in SubscriptionStats.Malformed and not
-// delivered to tuple subscribers.
+// SubscribeTuples registers fn to receive every new tuple in namespace:
+// one call per row of the arriving frame. The decode happens at most
+// ONCE per arriving object no matter how many tuple or batch subscribers
+// the namespace has; all of them see the same shared, read-only data
+// (see the handoff contract above). Objects whose payload does not
+// decode are counted in SubscriptionStats.Malformed and not delivered.
 func (d *DHT) SubscribeTuples(namespace string, fn func(Object, *tuple.Tuple)) *Subscription {
-	return d.subs.add(namespace, nil, fn)
+	return d.subs.add(namespace, &Subscription{tfn: fn})
+}
+
+// SubscribeBatches registers fn to receive every new object in namespace
+// decoded as a whole *tuple.Batch — the vectorized form of
+// SubscribeTuples, sharing the same decode-once contract: one frame
+// decode per arrival, one shared read-only batch to every subscriber.
+func (d *DHT) SubscribeBatches(namespace string, fn func(Object, *tuple.Batch)) *Subscription {
+	return d.subs.add(namespace, &Subscription{bfn: fn})
 }
 
 // Subscribers reports the live newData subscriber count for a namespace.

@@ -1,6 +1,7 @@
 package qp
 
 import (
+	"pier/internal/complist"
 	"pier/internal/exec"
 	"pier/internal/overlay"
 	"pier/internal/tuple"
@@ -19,17 +20,20 @@ import (
 //     minimal viable form of the multi-query work sharing PIER names as
 //     future work (§3.3.2);
 //   - the decode: the overlay registry decodes once per arrival
-//     (overlay.SubscribeTuples) and the bus fans the SAME *tuple.Tuple
-//     out to every attached query.
+//     (overlay.SubscribeBatches) and the bus fans the SAME *tuple.Batch
+//     out to every attached query, whole — converted operators process
+//     it vectorized, the rest receive rows via the PushBatchTo fallback.
 //
-// Handoff contract: tuples crossing the bus are SHARED and READ-ONLY
-// (see the registry contract in internal/overlay/subs.go). Operators
-// that transform tuples build new ones; none may mutate its input.
+// Handoff contract: batches crossing the bus are SHARED and READ-ONLY
+// (see the registry contract in internal/overlay/subs.go and the batch
+// rules in internal/exec/op.go). Operators that transform tuples build
+// new ones; none may mutate its input.
 //
 // Re-entrancy mirrors the overlay registry: detaching from within a
-// dispatch skips the detached target for the in-flight tuple; attaching
+// dispatch skips the detached target for the in-flight batch; attaching
 // from within a dispatch starts with the next arrival; compaction of
-// dead targets is deferred while a dispatch is on the stack.
+// dead targets is deferred while a dispatch is on the stack
+// (complist.List).
 type tableBus struct {
 	n       *Node
 	shares  map[busKey]*busShare
@@ -49,9 +53,7 @@ type busShare struct {
 	bus     *tableBus
 	key     busKey
 	sub     *overlay.Subscription
-	targets []*busTarget
-	deadN   int
-	depth   int
+	targets complist.List[*busTarget]
 }
 
 // busTarget is one query's attachment to a share.
@@ -62,6 +64,9 @@ type busTarget struct {
 	tag     exec.Tag
 	removed bool
 }
+
+// Dead reports whether the target detached (complist.Entry).
+func (t *busTarget) Dead() bool { return t.removed }
 
 func newTableBus(n *Node) *tableBus {
 	return &tableBus{n: n, shares: make(map[busKey]*busShare)}
@@ -76,32 +81,34 @@ func (b *tableBus) attach(table, only string, lg *liveGraph, tag exec.Tag, in *e
 	sh := b.shares[key]
 	if sh == nil {
 		sh = &busShare{bus: b, key: key}
-		sh.sub = b.n.dht.SubscribeTuples(table, sh.dispatch)
+		sh.sub = b.n.dht.SubscribeBatches(table, sh.dispatch)
+		// Retire the share (cancelling the overlay subscription — no
+		// leak) when the last query detaches.
+		sh.targets.OnEmpty(func() {
+			sh.sub.Cancel()
+			delete(b.shares, sh.key)
+		})
 		b.shares[key] = sh
 	}
 	t := &busTarget{share: sh, lg: lg, in: in, tag: tag}
-	sh.targets = append(sh.targets, t)
+	sh.targets.Add(t)
 	b.targets++
 	return func() { sh.remove(t) }
 }
 
 // dispatch fans one decoded arrival out to every attached query. The
 // only-filter is evaluated once per share, not once per query.
-func (sh *busShare) dispatch(_ overlay.Object, t *tuple.Tuple) {
-	if sh.key.only != "" && t.Table() != sh.key.only {
+func (sh *busShare) dispatch(_ overlay.Object, b *tuple.Batch) {
+	fb := b.FilterTable(sh.key.only)
+	if fb == nil || fb.Len() == 0 {
 		return
 	}
-	sh.depth++
-	limit := len(sh.targets) // attachments during dispatch miss this tuple
-	for i := 0; i < limit; i++ {
-		tg := sh.targets[i]
-		if tg.removed || tg.lg.closed {
-			continue
+	sh.targets.Each(func(tg *busTarget) {
+		if tg.lg.closed {
+			return
 		}
-		tg.in.Push(tg.tag, t)
-	}
-	sh.depth--
-	sh.compact()
+		tg.in.PushBatch(tg.tag, fb)
+	})
 }
 
 func (sh *busShare) remove(t *busTarget) {
@@ -109,35 +116,6 @@ func (sh *busShare) remove(t *busTarget) {
 		return
 	}
 	t.removed = true
-	sh.deadN++
 	sh.bus.targets--
-	sh.compact()
-}
-
-// compact reclaims dead targets and retires the share (cancelling the
-// overlay subscription — no leak) when the last query detaches.
-func (sh *busShare) compact() {
-	if sh.depth > 0 {
-		return
-	}
-	liveN := len(sh.targets) - sh.deadN
-	if liveN == 0 {
-		sh.sub.Cancel()
-		delete(sh.bus.shares, sh.key)
-		return
-	}
-	if sh.deadN*2 <= len(sh.targets) {
-		return
-	}
-	kept := sh.targets[:0]
-	for _, t := range sh.targets {
-		if !t.removed {
-			kept = append(kept, t)
-		}
-	}
-	for i := len(kept); i < len(sh.targets); i++ {
-		sh.targets[i] = nil
-	}
-	sh.targets = kept
-	sh.deadN = 0
+	sh.targets.NoteDead()
 }

@@ -9,6 +9,7 @@ import (
 	"pier/internal/overlay"
 	"pier/internal/tuple"
 	"pier/internal/ufl"
+	"pier/internal/wire"
 )
 
 // Network-facing operators: the access methods and exchange-like
@@ -40,13 +41,13 @@ func (lg *liveGraph) newScan(table string, withScan bool, only string) *exec.Inp
 	in.OnOpen = func(tag exec.Tag) {
 		if withScan {
 			lg.n.dht.LocalScan(table, func(o overlay.Object) bool {
-				t, err := tuple.Decode(o.Data)
+				fb, err := tuple.DecodeFrame(o.Data)
 				if err != nil {
 					lg.n.scanMalformed.Inc()
 					return true
 				}
-				if only == "" || t.Table() == only {
-					in.Push(tag, t)
+				if fb = fb.FilterTable(only); fb != nil && fb.Len() > 0 {
+					in.PushBatch(tag, fb)
 				}
 				return true
 			})
@@ -102,7 +103,80 @@ func (p *putOp) Push(_ exec.Tag, t *tuple.Tuple) {
 		key = k
 	}
 	p.Sent++
-	data := t.Encode()
+	p.ship(key, t.Encode())
+}
+
+// PushBatch rehashes a whole batch: rows sharing a partitioning key are
+// grouped (first-seen key order, preserving in-key row order) and each
+// group ships as ONE multi-row frame — the messages-per-publish win of
+// the exchange. Single rows keep the legacy single-tuple encoding.
+func (p *putOp) PushBatch(tag exec.Tag, b *tuple.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		p.Push(tag, b.Row(0))
+		return
+	}
+	if p.fixedKey != "" {
+		p.Sent += uint64(n)
+		w := wire.NewWriter(64 + 32*n)
+		b.EncodeRowsTo(w, nil)
+		p.ship(p.fixedKey, w.Bytes())
+		return
+	}
+	var colIdx []int
+	if b.Columnar() {
+		colIdx = make([]int, len(p.keyCols))
+		for i, c := range p.keyCols {
+			ci, ok := b.ColIndex(c)
+			if !ok {
+				// Partitioning column absent from the uniform schema:
+				// every row lacks it.
+				for r := 0; r < n; r++ {
+					p.Dropped.Inc()
+				}
+				return
+			}
+			colIdx[i] = ci
+		}
+	}
+	groups := make(map[string][]int32)
+	var order []string
+	var keyBuf []byte
+	for i := 0; i < n; i++ {
+		if colIdx != nil {
+			keyBuf = b.AppendRowKey(keyBuf[:0], i, colIdx)
+		} else {
+			kb, ok := b.Row(i).AppendKey(keyBuf[:0], p.keyCols)
+			keyBuf = kb
+			if !ok {
+				p.Dropped.Inc()
+				continue
+			}
+		}
+		if rows, seen := groups[string(keyBuf)]; seen {
+			groups[string(keyBuf)] = append(rows, int32(i))
+		} else {
+			key := string(keyBuf)
+			groups[key] = []int32{int32(i)}
+			order = append(order, key)
+		}
+	}
+	for _, key := range order {
+		idx := groups[key]
+		p.Sent += uint64(len(idx))
+		// Fresh buffer per frame: Put/Send retain the payload across
+		// async routing (and the retry path re-sends it).
+		w := wire.NewWriter(64 + 32*len(idx))
+		b.EncodeRowsTo(w, idx)
+		p.ship(key, w.Bytes())
+	}
+}
+
+// ship routes one payload to its DHT name via send or two-phase put.
+func (p *putOp) ship(key string, data []byte) {
 	lifetime := p.lg.rq.timeout
 	if p.send {
 		p.lg.n.dht.Send(p.ns, key, p.lg.n.uniquifier(), data, lifetime)
@@ -159,6 +233,13 @@ func (r *resultOp) Open(tag exec.Tag) {
 
 func (r *resultOp) Push(_ exec.Tag, t *tuple.Tuple) {
 	r.lg.n.forwardResult(r.lg.rq, t)
+}
+
+// PushBatch forwards each result row; client delivery is per tuple.
+func (r *resultOp) PushBatch(_ exec.Tag, b *tuple.Batch) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		r.lg.n.forwardResult(r.lg.rq, b.Row(i))
+	}
 }
 
 func (r *resultOp) Flush(tag exec.Tag) {
@@ -222,17 +303,28 @@ func (f *fetchMatchesOp) Push(tag exec.Tag, t *tuple.Tuple) {
 			return
 		}
 		for _, o := range objs {
-			inner, derr := tuple.Decode(o.Data)
+			fb, derr := tuple.DecodeFrame(o.Data)
 			if derr != nil {
 				continue
 			}
-			if f.semiJoin {
-				f.parent.Push(tag, inner)
-			} else {
-				f.parent.Push(tag, tuple.Join(f.outTable, outer, inner, f.prefix))
+			for i, n := 0, fb.Len(); i < n; i++ {
+				inner := fb.Row(i)
+				if f.semiJoin {
+					f.parent.Push(tag, inner)
+				} else {
+					f.parent.Push(tag, tuple.Join(f.outTable, outer, inner, f.prefix))
+				}
 			}
 		}
 	})
+}
+
+// PushBatch probes the index once per row — each probe is an independent
+// DHT get, so there is nothing to vectorize beyond the key build.
+func (f *fetchMatchesOp) PushBatch(tag exec.Tag, b *tuple.Batch) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		f.Push(tag, b.Row(i))
+	}
 }
 
 func (f *fetchMatchesOp) Flush(tag exec.Tag) {
@@ -364,6 +456,11 @@ func (h *hierAggOp) Open(tag exec.Tag) {
 // Push folds a raw tuple into the local partial aggregate.
 func (h *hierAggOp) Push(_ exec.Tag, t *tuple.Tuple) {
 	h.local.Add(t)
+}
+
+// PushBatch folds a whole batch into the local partial aggregate.
+func (h *hierAggOp) PushBatch(_ exec.Tag, b *tuple.Batch) {
+	h.local.AddBatch(b)
 }
 
 // shipLocal merges the local partial into pending and, unless this node

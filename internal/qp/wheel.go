@@ -3,6 +3,7 @@ package qp
 import (
 	"time"
 
+	"pier/internal/complist"
 	"pier/internal/vri"
 )
 
@@ -17,8 +18,9 @@ import (
 // order). The timer event count per period drops from Q·nodes to nodes.
 //
 // Slots are soft state like everything else here: when the last graph of
-// a period closes, the slot cancels its timer and disappears — opening
-// and closing 10k queries leaves no armed timers behind.
+// a period closes, the slot cancels its timer and disappears
+// (complist.List retirement) — opening and closing 10k queries leaves no
+// armed timers behind.
 type flushWheel struct {
 	n     *Node
 	slots map[time.Duration]*wheelSlot
@@ -30,12 +32,9 @@ type flushWheel struct {
 type wheelSlot struct {
 	w       *flushWheel
 	period  time.Duration
-	entries []*wheelEntry
-	deadN   int
-	depth   int // >0 while ticking; defers compaction/retirement
+	entries complist.List[*wheelEntry]
 	timer   vri.Timer
 	tickFn  func() // pre-bound so rearming allocates nothing (PR 4 idiom)
-	retired bool
 }
 
 type wheelEntry struct {
@@ -43,6 +42,9 @@ type wheelEntry struct {
 	lg      *liveGraph
 	removed bool
 }
+
+// Dead reports whether the entry's graph detached (complist.Entry).
+func (e *wheelEntry) Dead() bool { return e.removed }
 
 func newFlushWheel(n *Node) *flushWheel {
 	return &flushWheel{n: n, slots: make(map[time.Duration]*wheelSlot)}
@@ -58,11 +60,19 @@ func (w *flushWheel) add(period time.Duration, lg *liveGraph) *wheelEntry {
 	if sl == nil {
 		sl = &wheelSlot{w: w, period: period}
 		sl.tickFn = sl.tick
+		// Retire the emptied slot: cancel the armed timer so nothing
+		// fires into the void.
+		sl.entries.OnEmpty(func() {
+			if sl.timer != nil {
+				sl.timer.Cancel()
+			}
+			delete(w.slots, sl.period)
+		})
 		w.slots[period] = sl
 		sl.timer = w.n.rt.Schedule(period, sl.tickFn)
 	}
 	e := &wheelEntry{slot: sl, lg: lg}
-	sl.entries = append(sl.entries, e)
+	sl.entries.Add(e)
 	return e
 }
 
@@ -70,19 +80,14 @@ func (w *flushWheel) add(period time.Duration, lg *liveGraph) *wheelEntry {
 // slot emptied (all graphs closed, possibly during this very tick).
 func (sl *wheelSlot) tick() {
 	sl.w.fires++
-	sl.depth++
-	limit := len(sl.entries)
-	for i := 0; i < limit; i++ {
-		e := sl.entries[i]
-		if e.removed || e.lg.closed {
-			continue
+	sl.entries.Each(func(e *wheelEntry) {
+		if e.lg.closed {
+			return
 		}
 		sl.w.flushes++
 		e.lg.flush()
-	}
-	sl.depth--
-	sl.compact()
-	if !sl.retired {
+	})
+	if !sl.entries.Retired() {
 		sl.timer = sl.w.n.rt.Schedule(sl.period, sl.tickFn)
 	}
 }
@@ -93,37 +98,5 @@ func (e *wheelEntry) remove() {
 		return
 	}
 	e.removed = true
-	e.slot.deadN++
-	e.slot.compact()
-}
-
-// compact reclaims dead entries and retires an emptied slot (cancelling
-// the armed timer so nothing fires into the void).
-func (sl *wheelSlot) compact() {
-	if sl.depth > 0 || sl.retired {
-		return
-	}
-	liveN := len(sl.entries) - sl.deadN
-	if liveN == 0 {
-		sl.retired = true
-		if sl.timer != nil {
-			sl.timer.Cancel()
-		}
-		delete(sl.w.slots, sl.period)
-		return
-	}
-	if sl.deadN*2 <= len(sl.entries) {
-		return
-	}
-	kept := sl.entries[:0]
-	for _, e := range sl.entries {
-		if !e.removed {
-			kept = append(kept, e)
-		}
-	}
-	for i := len(kept); i < len(sl.entries); i++ {
-		sl.entries[i] = nil
-	}
-	sl.entries = kept
-	sl.deadN = 0
+	e.slot.entries.NoteDead()
 }

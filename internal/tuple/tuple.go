@@ -131,6 +131,24 @@ func (t *Tuple) KeyString(cols ...string) (string, bool) {
 	return sb.String(), true
 }
 
+// AppendKey appends the canonical DHT key over cols to dst, the
+// allocation-free twin of KeyString (callers reuse dst across tuples).
+// ok is false if any column is absent; dst may then hold a partial key
+// and must be re-truncated by the caller.
+func (t *Tuple) AppendKey(dst []byte, cols []string) ([]byte, bool) {
+	for i, c := range cols {
+		v, ok := t.Get(c)
+		if !ok {
+			return dst, false
+		}
+		if i > 0 {
+			dst = append(dst, 0x1f)
+		}
+		dst = v.AppendKey(dst)
+	}
+	return dst, true
+}
+
 // String renders the tuple for logs and debugging.
 func (t *Tuple) String() string {
 	var sb strings.Builder
@@ -163,19 +181,7 @@ func (t *Tuple) EncodeTo(w *wire.Writer) {
 	w.U16(uint16(len(t.names)))
 	for i, n := range t.names {
 		w.String(n)
-		v := t.vals[i]
-		w.U8(uint8(v.kind))
-		switch v.kind {
-		case KindNull:
-		case KindBool, KindInt, KindTime:
-			w.I64(v.i)
-		case KindFloat:
-			w.F64(v.f)
-		case KindString:
-			w.String(v.s)
-		case KindBytes:
-			w.Bytes32(v.b)
-		}
+		t.vals[i].encodeTo(w)
 	}
 }
 

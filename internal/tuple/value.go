@@ -238,6 +238,35 @@ func (v Value) KeyString() string {
 	}
 }
 
+// AppendKey appends exactly the bytes KeyString returns to dst — the
+// zero-allocation form used on the vectorized hot paths (group-by and
+// join key construction). The two must stay byte-identical: group keys
+// built here merge against keys built via KeyString on other nodes
+// (GroupSet partials cross the wire keyed by these strings).
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0x00)
+	case KindBool:
+		if v.i != 0 {
+			return append(dst, 'b', '1')
+		}
+		return append(dst, 'b', '0')
+	case KindInt:
+		return strconv.AppendInt(append(dst, 'i'), v.i, 10)
+	case KindFloat:
+		return strconv.AppendFloat(append(dst, 'f'), v.f, 'x', -1, 64)
+	case KindString:
+		return append(append(dst, 's'), v.s...)
+	case KindBytes:
+		return append(append(dst, 'y'), v.b...)
+	case KindTime:
+		return strconv.AppendInt(append(dst, 't'), v.i, 10)
+	default:
+		return append(dst, '?')
+	}
+}
+
 // String renders the value for humans.
 func (v Value) String() string {
 	switch v.kind {
