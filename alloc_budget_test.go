@@ -150,3 +150,48 @@ func TestQueryStormAllocBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedSubtreeAllocBudget gates the §3.3.2 shared-chain dispatch
+// path: it runs the BenchmarkSharedSubtreeDispatch body — Q structurally
+// identical Result-tailed queries that resolve to ONE shared operator
+// chain per node — and fails if allocs/op exceeds the checked-in budget.
+// The budgets are equal across Q on purpose: the shared chain is fed
+// once per publish and the demux fan-out to per-query tails allocates
+// nothing, so per-ATTACHMENT-per-event allocations show up as the
+// queries=64 row outgrowing queries=1 long before it reaches the cap.
+func TestSharedSubtreeAllocBudget(t *testing.T) {
+	if os.Getenv("PIER_ALLOC_BUDGET") == "" {
+		t.Skip("set PIER_ALLOC_BUDGET=1 to enforce the allocation budget")
+	}
+	raw, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatalf("reading budget file: %v", err)
+	}
+	var budget struct {
+		SharedSubtreeAllocsPerOp map[string]int64 `json:"shared_subtree_dispatch"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatalf("parsing alloc_budget.json: %v", err)
+	}
+	if len(budget.SharedSubtreeAllocsPerOp) == 0 {
+		t.Fatal("alloc_budget.json carries no shared_subtree_dispatch entries")
+	}
+	for _, queries := range []int{1, 16, 64} {
+		queries := queries
+		key := fmt.Sprintf("queries=%d", queries)
+		limit, ok := budget.SharedSubtreeAllocsPerOp[key]
+		if !ok {
+			t.Errorf("alloc_budget.json has no shared-subtree budget for %s", key)
+			continue
+		}
+		res := testing.Benchmark(func(b *testing.B) { runSharedSubtreeDispatch(b, queries) })
+		got := res.AllocsPerOp()
+		t.Logf("%s: %d allocs/op (budget %d), %d B/op, %s",
+			key, got, limit, res.AllocedBytesPerOp(), res.String())
+		if got > limit {
+			t.Errorf("%s: %d allocs/op exceeds the checked-in budget of %d — per-attachment-per-event "+
+				"allocations crept into the shared-subtree dispatch path; if intentional, justify it and "+
+				"raise alloc_budget.json in the same change", key, got, limit)
+		}
+	}
+}

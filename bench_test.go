@@ -647,3 +647,89 @@ opgraph g disseminate broadcast {
 		}
 	}
 }
+
+// BenchmarkSharedSubtreeDispatch measures the §3.3.2 multi-query
+// optimizer's hot path: the same 8-node publish load as
+// BenchmarkQueryStormDispatch, but the Q queries carry a Result tail,
+// which makes their operator chains subtree-shareable — all Q resolve
+// to ONE shared chain per node, fed once per publish and demuxed to the
+// per-query tails (which the never-matching Select keeps silent). Where
+// the query-storm bench pays Q private chain feeds per publish, this
+// path pays one; allocs/op must be flat in Q AND stay below the private
+// storm's figures at Q>1. Gated by TestSharedSubtreeAllocBudget against
+// the shared_subtree_dispatch section of alloc_budget.json.
+func BenchmarkSharedSubtreeDispatch(b *testing.B) {
+	for _, queries := range []int{1, 16, 64} {
+		queries := queries
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			runSharedSubtreeDispatch(b, queries)
+		})
+	}
+}
+
+// runSharedSubtreeDispatch is the storm body shared by the benchmark
+// above and the allocation-budget regression test.
+func runSharedSubtreeDispatch(b *testing.B, queries int) {
+	const (
+		nodeCount = 8
+		tick      = 25 * time.Millisecond
+		slice     = 100 * time.Millisecond
+	)
+	b.ReportAllocs()
+	env := sim.NewEnv(sim.Options{Seed: 1})
+	nodes := experiments.BuildCluster(env, nodeCount, "n")
+	// Same-shape continuous queries with a Result tail: structurally
+	// identical up to the tail, so every instantiation past the first
+	// per node attaches to the existing shared chain. The Select never
+	// matches, so the measured cost is pure shared dispatch (decode-once
+	// + ONE chain feed + one predicate eval), no result forwarding.
+	for i := 0; i < queries; i++ {
+		plan := ufl.MustParse(fmt.Sprintf(`
+query shared%d timeout 4h
+opgraph g disseminate broadcast {
+    src = NewData(table='fwlogs')
+    sel = Select(pred='severity > 99')
+    out = Result()
+    sel <- src
+    out <- sel
+}
+`, i))
+		if err := nodes[i%len(nodes)].Submit(plan, "bench", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env.Run(5 * time.Second) // all graphs live before the stream starts
+	for _, n := range nodes {
+		if st := n.Stats(); st.SharedSubtrees != 1 || st.SubtreeAttachments != queries {
+			b.Fatalf("subtree sharing did not engage: %+v", st)
+		}
+	}
+	for i, n := range nodes {
+		n := n
+		t := tuple.New("fwlogs").
+			Set("src", tuple.String(fmt.Sprintf("10.0.0.%d", i))).
+			Set("severity", tuple.Int(int64(i%5)))
+		var tickFn func()
+		tickFn = func() {
+			n.PublishLocal("fwlogs", t, time.Hour)
+			n.Runtime().Schedule(tick, tickFn)
+		}
+		n.Runtime().Schedule(time.Duration(i)*time.Microsecond, tickFn)
+	}
+	env.Run(slice) // warm the storm before timing
+	start, _, _ := env.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Run(slice)
+	}
+	b.StopTimer()
+	ev, _, _ := env.Stats()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ev-start)/secs, "events/s")
+	}
+	for _, n := range nodes {
+		if st := n.Stats(); st.MalformedDrops != 0 {
+			b.Fatalf("storm dropped tuples as malformed: %+v", st)
+		}
+	}
+}

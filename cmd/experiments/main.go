@@ -70,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ablation := fs.String("ablation", "", "ablation to run (joins|hieragg|churn|softstate|dissemination|churnagg|qstorm|all)")
 	nodes := fs.Int("nodes", 0, "override deployment size")
 	queries := fs.Int("queries", 0, "override query count (figure 1 / qstorm concurrency)")
+	shapes := fs.Int("shapes", 0, "qstorm: number of distinct operator-chain shapes across the queries (default 1 = all share one chain per node)")
+	clients := fs.Int("clients", 0, "qstorm: number of client identities the queries are spread across (default 1)")
+	quota := fs.Int("quota", 0, "qstorm: per-client live-graph quota on every node (0 = unlimited); overflow submissions are refused with acked rejects")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulator worker shards (0 = sequential scheduler; results are identical for any count)")
 	ckptSave := fs.String("checkpoint-save", "", "after building the cluster, save the converged ring to this file")
@@ -253,7 +256,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "=== Scale: concurrent-query storm (multi-tenant query runtime) ===")
 			start := time.Now()
 			res := experiments.RunQStorm(experiments.QStormConfig{
-				Nodes: *nodes, Queries: *queries, Workers: *workers, Warm: warm, Seed: *seed,
+				Nodes: *nodes, Queries: *queries, Shapes: *shapes, Clients: *clients,
+				MaxGraphsPerClient: *quota, Workers: *workers, Warm: warm, Seed: *seed,
 			})
 			wall := time.Since(start)
 			fmt.Fprint(stdout, res.Render())

@@ -176,6 +176,34 @@ var diffGraphs = []struct {
 		g.SetParent(c)
 		return s, c
 	}},
+	{"topk-desc", func() (Op, *collect) {
+		tk := NewTopK(5, "severity")
+		c := &collect{}
+		tk.SetParent(c)
+		return tk, c
+	}},
+	{"topk-asc", func() (Op, *collect) {
+		tk := NewTopK(3, "score")
+		tk.Ascending = true
+		c := &collect{}
+		tk.SetParent(c)
+		return tk, c
+	}},
+	{"topk-mixed", func() (Op, *collect) {
+		// The mixed column's incomparable kind pairs make the comparator
+		// partial: the retained set depends on insertion-time sorts, so
+		// this pins PushBatch to the row path's sort-per-insert discipline.
+		tk := NewTopK(4, "mixed")
+		c := &collect{}
+		tk.SetParent(c)
+		return tk, c
+	}},
+	{"topk-missing-col", func() (Op, *collect) {
+		tk := NewTopK(4, "absent")
+		c := &collect{}
+		tk.SetParent(c)
+		return tk, c
+	}},
 }
 
 func TestBatchVsRowEquivalence(t *testing.T) {

@@ -400,6 +400,42 @@ func (tk *TopK) Push(tag Tag, t *tuple.Tuple) {
 		tk.Dropped.inc()
 		return
 	}
+	tk.insert(tag, v, t)
+}
+
+// PushBatch considers every row of a batch. Only the column resolution is
+// vectorized: the retained set must match the row path bit for bit, and
+// with a comparator that is partial over mixed-kind values a single
+// end-of-batch sort is NOT equivalent to the row path's sort-per-insert,
+// so each row goes through the same insert helper Push uses.
+func (tk *TopK) PushBatch(tag Tag, b *tuple.Batch) {
+	n := b.Len()
+	if b.Columnar() {
+		ci, ok := b.ColIndex(tk.Col)
+		if !ok {
+			for i := 0; i < n; i++ {
+				tk.Dropped.inc()
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			tk.insert(tag, b.At(i, ci), b.Row(i))
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		t := b.Row(i)
+		v, ok := t.Get(tk.Col)
+		if !ok {
+			tk.Dropped.inc()
+			continue
+		}
+		tk.insert(tag, v, t)
+	}
+}
+
+// insert is the shared per-row ranking step behind Push and PushBatch.
+func (tk *TopK) insert(tag Tag, v tuple.Value, t *tuple.Tuple) {
 	items := append(tk.heaps[tag], topkItem{v: v, t: t})
 	// K is small (10 in Figure 2); sort-and-trim keeps the code simple
 	// and the cost K·log K per insert batch.

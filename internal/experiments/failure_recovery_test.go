@@ -125,10 +125,117 @@ opgraph g disseminate broadcast {
 					continue
 				}
 				st := n.Stats()
-				if st.Subscriptions != 0 || st.LiveGraphs != 0 || st.WheelSlots != 0 {
-					t.Fatalf("%s leaked after peer failure: subscriptions=%d graphs=%d wheel-slots=%d",
-						n.Addr(), st.Subscriptions, st.LiveGraphs, st.WheelSlots)
+				if st.Subscriptions != 0 || st.LiveGraphs != 0 || st.WheelSlots != 0 ||
+					st.SharedSubtrees != 0 || st.SubtreeAttachments != 0 || st.TrackedClients != 0 {
+					t.Fatalf("%s leaked after peer failure: subscriptions=%d graphs=%d wheel-slots=%d subtrees=%d attachments=%d clients=%d",
+						n.Addr(), st.Subscriptions, st.LiveGraphs, st.WheelSlots,
+						st.SharedSubtrees, st.SubtreeAttachments, st.TrackedClients)
 				}
+			}
+		})
+	}
+}
+
+// TestSharedSubtreeSurvivesStaggeredTeardown is the refcount discipline
+// test for operator-subtree sharing: three same-shape queries with
+// DIFFERENT deadlines share one chain per node (the structural
+// signature ignores timeouts), a participant dies mid-run, and then the
+// queries detach one at a time. The chain must survive each early
+// detach — still feeding the remaining tails with post-detach events —
+// and retire only when the LAST query leaves, releasing its bus
+// attachment and wheel slot with it.
+func TestSharedSubtreeSurvivesStaggeredTeardown(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			env := sim.NewEnv(sim.Options{Seed: 97})
+			env.SetWorkers(workers)
+			nodes := BuildCluster(env, 10, "n")
+
+			timeouts := []time.Duration{12 * time.Second, 24 * time.Second, 36 * time.Second}
+			sets := make([]*qp.ResultSet, 0, len(timeouts))
+			for i, to := range timeouts {
+				plan := ufl.MustParse(fmt.Sprintf(`
+query stag%d timeout %s
+opgraph g disseminate broadcast {
+    src = NewData(table='fwlogs')
+    agg = GroupBy(aggs='count(*) as cnt', flushevery='4s')
+    out = Result()
+    agg <- src
+    out <- agg
+}
+`, i, to))
+				rs, err := nodes[i].SubmitCollect(plan, "stagger")
+				if err != nil {
+					t.Fatal(err)
+				}
+				sets = append(sets, rs)
+			}
+			publish := func(at time.Duration, row int) {
+				for i, n := range nodes {
+					n, i := n, i
+					n.Runtime().Schedule(at, func() {
+						n.PublishLocal("fwlogs", tuple.New("fwlogs").
+							Set("src", tuple.String(fmt.Sprintf("10.0.%d.%d", row, i))).
+							Set("dstport", tuple.Int(443)).
+							Set("severity", tuple.Int(2)), time.Hour)
+					})
+				}
+			}
+			publish(3*time.Second, 0)  // all three queries attached
+			publish(18*time.Second, 1) // after the first detach
+			publish(30*time.Second, 2) // after the second
+
+			env.Run(8 * time.Second)
+			env.Fail(nodes[9].Addr())
+			survivors := nodes[:9]
+			for _, n := range survivors {
+				st := n.Stats()
+				if st.SharedSubtrees != 1 || st.SubtreeAttachments != 3 {
+					t.Fatalf("%s before any detach: subtrees=%d attachments=%d, want 1/3",
+						n.Addr(), st.SharedSubtrees, st.SubtreeAttachments)
+				}
+			}
+
+			env.Run(10 * time.Second) // past deadline 1: first query detached
+			for _, n := range survivors {
+				st := n.Stats()
+				if st.SharedSubtrees != 1 || st.SubtreeAttachments != 2 {
+					t.Fatalf("%s after first detach: subtrees=%d attachments=%d, want 1/2 (chain must survive)",
+						n.Addr(), st.SharedSubtrees, st.SubtreeAttachments)
+				}
+			}
+
+			env.Run(12 * time.Second) // past deadline 2
+			for _, n := range survivors {
+				st := n.Stats()
+				if st.SharedSubtrees != 1 || st.SubtreeAttachments != 1 {
+					t.Fatalf("%s after second detach: subtrees=%d attachments=%d, want 1/1",
+						n.Addr(), st.SharedSubtrees, st.SubtreeAttachments)
+				}
+			}
+
+			env.Run(30 * time.Second) // past the last deadline + grace
+			for _, n := range survivors {
+				st := n.Stats()
+				if st.SharedSubtrees != 0 || st.SubtreeAttachments != 0 ||
+					st.Subscriptions != 0 || st.LiveGraphs != 0 || st.WheelSlots != 0 || st.TrackedClients != 0 {
+					t.Fatalf("%s leaked after last detach: %+v", n.Addr(), st)
+				}
+			}
+			// Every query saw rows from every publish window it was
+			// attached for — late windows reached the survivors through
+			// the SAME shared chain the earlier queries had left.
+			for i, rs := range sets {
+				if rs.Len() == 0 {
+					t.Fatalf("query %d got no rows", i)
+				}
+				if !rs.Done() {
+					t.Fatalf("query %d never finished", i)
+				}
+			}
+			if sets[2].Len() < sets[0].Len() {
+				t.Fatalf("longest-lived query saw fewer rows (%d) than the first to leave (%d)",
+					sets[2].Len(), sets[0].Len())
 			}
 		})
 	}

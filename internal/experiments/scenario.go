@@ -44,6 +44,10 @@ type ScenarioSpec struct {
 	// Teardown is the post-horizon grace run before leak assertions are
 	// evaluated (queries finish tearing down). Default 15s.
 	Teardown time.Duration
+	// MaxGraphsPerClient, when > 0, applies the per-client admission
+	// quota to every node: one client identity's concurrent opgraphs
+	// are capped, refusals are acked explicitly, other clients run on.
+	MaxGraphsPerClient int
 
 	Topology  TopologySpec
 	Network   NetworkSpec
@@ -74,8 +78,17 @@ type WorkloadSpec struct {
 	// continuous-agg: Queries concurrent continuous counts over the
 	// fwlogs stream (qstorm-style), flushing every FlushEvery, fed by
 	// per-node publishers emitting EventsPerNode events drawn from
-	// Sources source IPs over the scenario duration.
+	// Sources source IPs over the scenario duration (0 events-per-node
+	// arms no publishers — the entry rides another entry's stream).
+	// Shapes > 1 cycles that many structurally distinct plans across
+	// the queries (distinct shared chains per node); Client labels the
+	// submissions, and Clients > 1 spreads them round-robin over
+	// "<client>-0".."<client>-C-1" identities (quota granularity).
+	// Start > 0 delays submission into the horizon (a mid-run burst).
 	Queries       int
+	Shapes        int
+	Client        string
+	Clients       int
 	FlushEvery    time.Duration
 	EventsPerNode int
 	Sources       int
@@ -151,8 +164,12 @@ type AssertSpec struct {
 	// P99LatencyMax: 99th-percentile lookup latency <= this; a p99
 	// falling among misses fails.
 	P99LatencyMax *time.Duration
+	// MinQuotaRejects: per-client quota refusals counted across the
+	// cluster >= this (requires max-graphs-per-client to be set).
+	MinQuotaRejects *int
 	// NoLeaks: after teardown, live nodes hold zero bus subscriptions,
-	// zero live graphs, and zero occupied flush-wheel slots.
+	// zero live graphs, zero occupied flush-wheel slots, zero shared
+	// subtrees or attachments, and an empty per-client quota ledger.
 	NoLeaks bool
 	// MalformedSeen: at least one malformed drop was counted (the flood
 	// actually met a query's decode path).
@@ -578,6 +595,7 @@ func ParseScenario(src string) (ScenarioSpec, error) {
 		f.intField("nodes", &spec.Nodes),
 		f.durField("duration", &spec.Duration),
 		f.durField("teardown", &spec.Teardown),
+		f.intField("max-graphs-per-client", &spec.MaxGraphsPerClient),
 	); err != nil {
 		return spec, err
 	}
@@ -649,6 +667,14 @@ func ParseScenario(src string) (ScenarioSpec, error) {
 			return spec, fmt.Errorf("assert recovered-rows requires a partition event with heal-after")
 		}
 	}
+	if spec.Assert.MinQuotaRejects != nil && spec.MaxGraphsPerClient <= 0 {
+		return spec, fmt.Errorf("assert min-quota-rejects requires max-graphs-per-client")
+	}
+	for _, wl := range spec.Workloads {
+		if wl.Kind == "continuous-agg" && wl.Start >= spec.Duration {
+			return spec, fmt.Errorf("continuous-agg start %v falls outside the scenario duration %v", wl.Start, spec.Duration)
+		}
+	}
 	return spec, nil
 }
 
@@ -702,12 +728,20 @@ func decodeWorkload(v *yval) (WorkloadSpec, error) {
 	switch w.Kind {
 	case "continuous-agg":
 		w.Queries, w.FlushEvery, w.EventsPerNode, w.Sources = 8, 5*time.Second, 20, 32
+		w.Shapes, w.Client, w.Clients = 1, "scenario", 1
 		err = firstErr(
 			f.intField("queries", &w.Queries),
+			f.intField("shapes", &w.Shapes),
+			f.strField("client", &w.Client),
+			f.intField("clients", &w.Clients),
+			f.durField("start", &w.Start),
 			f.durField("flush-every", &w.FlushEvery),
 			f.intField("events-per-node", &w.EventsPerNode),
 			f.intField("sources", &w.Sources),
 		)
+		if err == nil && w.Shapes < 1 {
+			err = decodeErr{v.line, "continuous-agg needs shapes >= 1"}
+		}
 	case "lookups":
 		w.Count, w.Start, w.Interval, w.Timeout, w.Keys = 10, 2*time.Second, time.Second, 10*time.Second, 32
 		err = firstErr(
@@ -810,6 +844,7 @@ func decodeAssert(v *yval) (AssertSpec, error) {
 		optInt("min-result-rows", &a.MinResultRows),
 		optInt("recovered-rows", &a.RecoveredRows),
 		optInt("min-queries-done", &a.MinQueriesDone),
+		optInt("min-quota-rejects", &a.MinQuotaRejects),
 		f.boolField("all-queries-done", &a.AllQueriesDone),
 		f.boolField("no-leaks", &a.NoLeaks),
 		f.boolField("malformed-seen", &a.MalformedSeen),

@@ -13,7 +13,6 @@ import (
 	"pier/internal/sim"
 	"pier/internal/sqlfront"
 	"pier/internal/tuple"
-	"pier/internal/ufl"
 	"pier/internal/vri"
 	"pier/internal/workload"
 )
@@ -64,6 +63,7 @@ type scenarioRun struct {
 	timeline []string
 
 	aggSets        []*qp.ResultSet
+	scenQueries    int // continuous-agg queries submitted (unique plan names across entries)
 	rowsAtLastHeal int
 	healed         bool
 
@@ -129,6 +129,9 @@ func RunScenario(spec ScenarioSpec, workers int) ScenarioOutcome {
 	}
 	for _, n := range nodes {
 		r.addrToQP[n.Addr()] = n
+		if spec.MaxGraphsPerClient > 0 {
+			n.SetMaxGraphsPerClient(spec.MaxGraphsPerClient)
+		}
 	}
 
 	// Workload fixtures that must exist before the clock starts: the
@@ -195,42 +198,52 @@ func (r *scenarioRun) armWorkload(wl WorkloadSpec, peers []*gnutella.Peer, mix *
 	env, spec := r.env, r.spec
 	switch wl.Kind {
 	case "continuous-agg":
-		// qstorm-style: Q continuous counts over fwlogs, submitted now
-		// (one dissemination batch per proxy), publishers armed with a
-		// lead so every graph is live before the first event lands.
+		// qstorm-style: Q continuous counts over fwlogs (wl.Shapes
+		// structural variants under wl.Clients client identities),
+		// submitted at wl.Start (one dissemination batch per proxy —
+		// a delayed entry is a mid-run burst against already-shared
+		// chains), publishers armed with a lead so every graph is live
+		// before the first event lands.
 		const lead = 2 * time.Second
-		timeout := spec.Duration + time.Second
-		for i := 0; i < wl.Queries; i++ {
-			plan := ufl.MustParse(fmt.Sprintf(`
-query scen%d timeout %s
-opgraph g disseminate broadcast {
-    src = NewData(table='fwlogs')
-    agg = GroupBy(aggs='count(*) as cnt', flushevery='%s')
-    out = Result()
-    agg <- src
-    out <- agg
-}
-`, i, timeout, wl.FlushEvery))
-			rs, err := r.nodes[i%len(r.nodes)].SubmitCollect(plan, "scenario")
-			if err != nil {
-				panic(err)
+		wl := wl
+		submit := func() {
+			timeout := spec.Duration - wl.Start + time.Second
+			for i := 0; i < wl.Queries; i++ {
+				r.scenQueries++
+				client := wl.Client
+				if wl.Clients > 1 {
+					client = fmt.Sprintf("%s-%d", wl.Client, i%wl.Clients)
+				}
+				plan := continuousAggPlan(fmt.Sprintf("scen%d", r.scenQueries),
+					i%wl.Shapes, wl.FlushEvery, timeout)
+				rs, err := r.nodes[i%len(r.nodes)].SubmitCollect(plan, client)
+				if err != nil {
+					panic(err)
+				}
+				r.aggSets = append(r.aggSets, rs)
 			}
-			r.aggSets = append(r.aggSets, rs)
 		}
-		window := spec.Duration - lead - time.Second
-		if window < time.Second {
-			window = time.Second
+		if wl.Start > 0 {
+			env.Schedule(wl.Start, submit)
+		} else {
+			submit()
 		}
-		interval := window / time.Duration(wl.EventsPerNode)
-		for i, n := range r.nodes {
-			p := &qstormPublisher{
-				n:        n,
-				gen:      workload.NewFirewallGen(spec.Seed+100+int64(i), wl.Sources, 1.2),
-				interval: interval,
-				left:     wl.EventsPerNode,
+		if wl.EventsPerNode > 0 {
+			window := spec.Duration - lead - time.Second
+			if window < time.Second {
+				window = time.Second
 			}
-			p.tickFn = p.tick
-			n.Runtime().Schedule(lead+time.Duration(i*131)*time.Microsecond, p.tickFn)
+			interval := window / time.Duration(wl.EventsPerNode)
+			for i, n := range r.nodes {
+				p := &qstormPublisher{
+					n:        n,
+					gen:      workload.NewFirewallGen(spec.Seed+100+int64(i), wl.Sources, 1.2),
+					interval: interval,
+					left:     wl.EventsPerNode,
+				}
+				p.tickFn = p.tick
+				n.Runtime().Schedule(lead+time.Duration(i*131)*time.Microsecond, p.tickFn)
+			}
 		}
 	case "lookups":
 		opts := sqlfront.Options{TableIndexes: map[string][]string{"kv": {"key"}}}
@@ -390,6 +403,9 @@ func (r *scenarioRun) respawn() {
 	r.respawns++
 	sn := r.env.Spawn(fmt.Sprintf("r-%d", r.respawns))
 	nd := qp.NewNode(sn, clusterConfig(r.spec.Nodes))
+	if r.spec.MaxGraphsPerClient > 0 {
+		nd.SetMaxGraphsPerClient(r.spec.MaxGraphsPerClient)
+	}
 	if err := nd.Start(); err != nil {
 		panic(err)
 	}
@@ -474,18 +490,39 @@ func (r *scenarioRun) evaluate() ScenarioOutcome {
 	// node's counters are frozen mid-flight by design (Fail models a
 	// crash, not a shutdown), so only survivors owe clean teardown.
 	leakSubs, leakGraphs, leakSlots, liveCount := 0, 0, 0, 0
-	var malformed uint64
+	leakSubtrees, leakAttach, leakClients := 0, 0, 0
+	var malformed, quotaRejects uint64
+	clientRejects := map[string]uint64{}
 	for _, a := range r.liveQP() {
 		st := r.addrToQP[a].Stats()
 		liveCount++
 		leakSubs += st.Subscriptions
 		leakGraphs += st.LiveGraphs
 		leakSlots += st.WheelSlots
+		leakSubtrees += st.SharedSubtrees
+		leakAttach += st.SubtreeAttachments
+		leakClients += st.TrackedClients
 		malformed += st.MalformedDrops
+		quotaRejects += st.ClientQuotaRejects
+		for c, k := range st.ClientRejects {
+			clientRejects[c] += k
+		}
 	}
 	events, msgs, _ := r.env.Stats()
-	fmt.Fprintf(&b, "cluster after teardown: live-nodes=%d malformed-drops=%d leaked-subscriptions=%d leaked-graphs=%d leaked-wheel-slots=%d\n",
-		liveCount, malformed, leakSubs, leakGraphs, leakSlots)
+	fmt.Fprintf(&b, "cluster after teardown: live-nodes=%d malformed-drops=%d leaked-subscriptions=%d leaked-graphs=%d leaked-wheel-slots=%d leaked-subtrees=%d leaked-attachments=%d leaked-clients=%d\n",
+		liveCount, malformed, leakSubs, leakGraphs, leakSlots, leakSubtrees, leakAttach, leakClients)
+	if len(clientRejects) > 0 {
+		cs := make([]string, 0, len(clientRejects))
+		for c := range clientRejects {
+			cs = append(cs, c)
+		}
+		sort.Strings(cs)
+		parts := make([]string, 0, len(cs))
+		for _, c := range cs {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, clientRejects[c]))
+		}
+		fmt.Fprintf(&b, "quota rejects: total=%d by client: %s\n", quotaRejects, strings.Join(parts, " "))
+	}
 	fmt.Fprintf(&b, "traffic: events=%d msgs=%d\n", events, msgs)
 
 	// Assertions, in a fixed order.
@@ -533,12 +570,18 @@ func (r *scenarioRun) evaluate() ScenarioOutcome {
 		}
 		check(fmt.Sprintf("p99-latency-max <= %v", *a.P99LatencyMax), ok && d <= *a.P99LatencyMax, detail)
 	}
+	if a.MinQuotaRejects != nil {
+		check(fmt.Sprintf("min-quota-rejects >= %d", *a.MinQuotaRejects),
+			quotaRejects >= uint64(*a.MinQuotaRejects), fmt.Sprintf("quota-rejects=%d", quotaRejects))
+	}
 	if a.MalformedSeen {
 		check("malformed-seen", malformed > 0, fmt.Sprintf("malformed-drops=%d", malformed))
 	}
 	if a.NoLeaks {
-		check("no-leaks", leakSubs == 0 && leakGraphs == 0 && leakSlots == 0,
-			fmt.Sprintf("subscriptions=%d graphs=%d wheel-slots=%d", leakSubs, leakGraphs, leakSlots))
+		check("no-leaks", leakSubs == 0 && leakGraphs == 0 && leakSlots == 0 &&
+			leakSubtrees == 0 && leakAttach == 0 && leakClients == 0,
+			fmt.Sprintf("subscriptions=%d graphs=%d wheel-slots=%d subtrees=%d attachments=%d clients=%d",
+				leakSubs, leakGraphs, leakSlots, leakSubtrees, leakAttach, leakClients))
 	}
 	if passed {
 		fmt.Fprintf(&b, "RESULT: PASS\n")

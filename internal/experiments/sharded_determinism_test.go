@@ -169,16 +169,89 @@ func TestQStormShardedMatchesSequential(t *testing.T) {
 	if seq.LeakedSubscriptions != 0 || seq.LeakedGraphs != 0 {
 		t.Fatalf("qstorm leaked runtime state: %+v", seq)
 	}
-	// The multi-tenant invariants at small scale: decode work and flush
-	// timer events must be ~Q-fold below their per-query baselines.
+	// The multi-tenant invariants at small scale: decode work, operator
+	// execution, and flush work must be ~Q-fold below their per-query
+	// baselines.
 	if seq.Decodes != seq.Publishes {
 		t.Fatalf("decode-once violated: %d decodes for %d publishes", seq.Decodes, seq.Publishes)
 	}
 	if seq.DecodeBaseline != seq.Publishes*uint64(cfg.Queries) {
 		t.Fatalf("baseline accounting off: %+v", seq)
 	}
-	if seq.FlushTimerFires*uint64(cfg.Queries) != seq.FlushBaseline {
-		t.Fatalf("flush coalescing off: fires=%d baseline=%d", seq.FlushTimerFires, seq.FlushBaseline)
+	// Subtree sharing: the Q same-shape queries resolve to ONE chain per
+	// node (one build, Q-1 hits), each publish executes exactly one
+	// chain, and the wheel flushes chains, not queries. (Before PR 8
+	// this asserted ChainFlushes == fires × Q — one flush per query per
+	// tick; the shared chain makes flush work O(1) in Q by design.)
+	if seq.SubtreeBuilds != uint64(cfg.Nodes) || seq.SubtreeHits != uint64(cfg.Nodes*(cfg.Queries-1)) {
+		t.Fatalf("subtree cache off: builds=%d hits=%d, want %d/%d",
+			seq.SubtreeBuilds, seq.SubtreeHits, cfg.Nodes, cfg.Nodes*(cfg.Queries-1))
+	}
+	if seq.ChainFeeds != seq.Publishes {
+		t.Fatalf("execute-once violated: %d chain feeds for %d publishes", seq.ChainFeeds, seq.Publishes)
+	}
+	if seq.ChainFeedBaseline != seq.Publishes*uint64(cfg.Queries) {
+		t.Fatalf("chain-feed baseline off: %+v", seq)
+	}
+	if seq.ChainFlushes != seq.FlushTimerFires {
+		t.Fatalf("flush sharing off: fires=%d drove %d chain flushes, want 1 per fire", seq.FlushTimerFires, seq.ChainFlushes)
+	}
+	if seq.FlushBaseline != seq.FlushTimerFires*uint64(cfg.Queries) {
+		t.Fatalf("flush baseline off: fires=%d baseline=%d", seq.FlushTimerFires, seq.FlushBaseline)
+	}
+	if seq.SharedExecFanout == 0 {
+		t.Fatal("no result rows flowed through shared chains")
+	}
+	if seq.LeakedSubtrees != 0 || seq.LeakedAttachments != 0 || seq.LeakedClients != 0 {
+		t.Fatalf("qstorm leaked sharing state: %+v", seq)
+	}
+}
+
+// TestQStormSharedMixedShapesMatchesSequential locks in the shared-
+// subtree storm under heterogeneous load: several structurally distinct
+// shapes, several client identities, and a per-client quota tight
+// enough to refuse part of the population. Output must stay
+// bit-identical across schedulers AND the quota refusals must be
+// explicit, per-client, and leak-free.
+func TestQStormSharedMixedShapesMatchesSequential(t *testing.T) {
+	cfg := QStormConfig{
+		Nodes: 10, Queries: 18, Shapes: 3, Clients: 3,
+		MaxGraphsPerClient: 4,
+		FlushEvery:         4 * time.Second,
+		Duration:           12 * time.Second, EventsPerNode: 10, Sources: 24,
+		Seed: 210,
+	}
+	cfg.Workers = 0
+	seq := RunQStorm(cfg)
+	cfg.Workers = 8
+	par := RunQStorm(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("mixed-shape qstorm diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	// 3 shapes → 3 chains per node; every query beyond the first of its
+	// shape on a node hits the cache.
+	if seq.PeakSharedSubtrees != cfg.Nodes*cfg.Shapes {
+		t.Fatalf("PeakSharedSubtrees = %d, want %d", seq.PeakSharedSubtrees, cfg.Nodes*cfg.Shapes)
+	}
+	// 18 queries / 3 clients = 6 each against a quota of 4: every node
+	// refuses 2 per client, and the refusals are attributed.
+	if seq.QuotaRejects == 0 || len(seq.ClientRejects) != cfg.Clients {
+		t.Fatalf("quota did not fire per client: %+v", seq)
+	}
+	wantQuota := uint64(cfg.Nodes * cfg.Clients * 2)
+	if seq.QuotaRejects != wantQuota {
+		t.Fatalf("QuotaRejects = %d, want %d", seq.QuotaRejects, wantQuota)
+	}
+	if seq.RejectAcks != seq.Rejected || seq.Rejected != seq.QuotaRejects {
+		t.Fatalf("quota refusals not acked: %+v", seq)
+	}
+	// Admitted queries still complete and produce rows.
+	if seq.Completed != cfg.Queries || seq.ResultRows == 0 {
+		t.Fatalf("admitted queries incomplete: %+v", seq)
+	}
+	if seq.LeakedSubscriptions != 0 || seq.LeakedGraphs != 0 ||
+		seq.LeakedSubtrees != 0 || seq.LeakedAttachments != 0 || seq.LeakedClients != 0 {
+		t.Fatalf("mixed-shape storm leaked: %+v", seq)
 	}
 }
 

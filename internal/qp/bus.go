@@ -56,10 +56,12 @@ type busShare struct {
 	targets complist.List[*busTarget]
 }
 
-// busTarget is one query's attachment to a share.
+// busTarget is one attachment to a share: a private query graph's access
+// method, or — since subtree sharing — a shared operator chain's (one
+// attachment feeds every query on the chain).
 type busTarget struct {
 	share   *busShare
-	lg      *liveGraph
+	host    opHost
 	in      *exec.Input
 	tag     exec.Tag
 	removed bool
@@ -72,11 +74,11 @@ func newTableBus(n *Node) *tableBus {
 	return &tableBus{n: n, shares: make(map[busKey]*busShare)}
 }
 
-// attach subscribes a live graph's access-method input to the shared
-// table stream, creating the underlying overlay subscription only for
-// the first attachment of an access signature. The returned cancel is
-// O(1) and idempotent.
-func (b *tableBus) attach(table, only string, lg *liveGraph, tag exec.Tag, in *exec.Input) (cancel func()) {
+// attach subscribes a host's access-method input to the shared table
+// stream, creating the underlying overlay subscription only for the
+// first attachment of an access signature. The returned cancel is O(1)
+// and idempotent.
+func (b *tableBus) attach(table, only string, h opHost, tag exec.Tag, in *exec.Input) (cancel func()) {
 	key := busKey{table: table, only: only}
 	sh := b.shares[key]
 	if sh == nil {
@@ -90,23 +92,27 @@ func (b *tableBus) attach(table, only string, lg *liveGraph, tag exec.Tag, in *e
 		})
 		b.shares[key] = sh
 	}
-	t := &busTarget{share: sh, lg: lg, in: in, tag: tag}
+	t := &busTarget{share: sh, host: h, in: in, tag: tag}
 	sh.targets.Add(t)
 	b.targets++
 	return func() { sh.remove(t) }
 }
 
-// dispatch fans one decoded arrival out to every attached query. The
-// only-filter is evaluated once per share, not once per query.
+// dispatch fans one decoded arrival out to every attached chain. The
+// only-filter is evaluated once per share, not once per attachment.
+// chainFeeds counts the deliveries: with subtree sharing, Q same-shape
+// queries ride ONE attachment, so feeds per publish measure the operator
+// executions actually paid — the O(1)-in-Q quantity qstorm reports.
 func (sh *busShare) dispatch(_ overlay.Object, b *tuple.Batch) {
 	fb := b.FilterTable(sh.key.only)
 	if fb == nil || fb.Len() == 0 {
 		return
 	}
 	sh.targets.Each(func(tg *busTarget) {
-		if tg.lg.closed {
+		if tg.host.done() {
 			return
 		}
+		sh.bus.n.chainFeeds++
 		tg.in.PushBatch(tg.tag, fb)
 	})
 }

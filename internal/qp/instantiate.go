@@ -2,7 +2,6 @@ package qp
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 	"time"
 
@@ -30,11 +29,25 @@ type liveGraph struct {
 	// node's sharing statistics.
 	sig uint64
 	// wheelEntry is this graph's registration on the node's coalesced
-	// flush wheel (nil when the graph has no flushevery interval).
+	// flush wheel (nil when the graph has no flushevery interval, and
+	// always nil on the shared path — the subtree owns the registration).
 	wheelEntry *wheelEntry
 
 	flushEvery time.Duration
+
+	// shared/demuxTarget are set when this graph runs on the shared-
+	// subtree path (subtree.go): ops then holds only the private tail,
+	// attached to the shared chain's demux under this graph's tag.
+	shared      *sharedSubtree
+	demuxTarget *exec.DemuxTarget
+	// client is the submitting client id, for the per-client quota ledger.
+	client string
 }
+
+// opHost implementation (subtree.go): the private-graph flavor.
+func (lg *liveGraph) node() *Node        { return lg.n }
+func (lg *liveGraph) addCancel(c func()) { lg.cancels = append(lg.cancels, c) }
+func (lg *liveGraph) done() bool         { return lg.closed }
 
 // instantiate builds the local dataflow for an opgraph (§3.3.2: "when a
 // node receives an opgraph it creates an instance of each operator in
@@ -46,6 +59,16 @@ func (n *Node) instantiate(rq *runningQuery, g ufl.Opgraph) (*liveGraph, error) 
 	n.tagCounter++
 	lg := &liveGraph{n: n, rq: rq, spec: g, ops: make(map[string]exec.Op), tag: n.tagCounter}
 	lg.sig = g.Signature(rq.id)
+
+	// Share-eligible graphs take the subtree path: the chain beneath the
+	// tail resolves through the node's signature-keyed cache (one shared
+	// instance, however many queries), and only the tail is private.
+	if tail, topID, ok := sharePlan(&g); ok {
+		if err := n.attachShared(lg, g, tail, topID); err != nil {
+			return nil, err
+		}
+		return lg, nil
+	}
 
 	for _, spec := range g.Ops {
 		op, err := lg.buildOp(spec)
@@ -134,21 +157,29 @@ func (lg *liveGraph) open() {
 }
 
 // flush forces stateful operators to emit (timeout- or timer-driven,
-// §3.3.2).
+// §3.3.2). On the shared path the chain flushes once under its own tag
+// and the demux emits to EVERY attached tail — the shared-window
+// contract (subtree.go).
 func (lg *liveGraph) flush() {
+	if lg.shared != nil {
+		lg.shared.flush()
+		return
+	}
 	for _, r := range lg.roots {
 		r.Flush(lg.tag)
 	}
 }
 
 // close releases operators, cancels subscriptions and timers, detaches
-// from the flush wheel, and returns the graph's admission slot.
+// from the flush wheel (or the shared chain's demux — the last detach
+// retires the chain), and returns the graph's admission slot.
 func (lg *liveGraph) close() {
 	if lg.closed {
 		return
 	}
 	lg.closed = true
 	lg.n.liveGraphs--
+	lg.n.clientGraphClosed(lg.client)
 	if c := lg.n.sigCounts[lg.sig]; c <= 1 {
 		delete(lg.n.sigCounts, lg.sig)
 	} else {
@@ -156,6 +187,9 @@ func (lg *liveGraph) close() {
 	}
 	if lg.wheelEntry != nil {
 		lg.wheelEntry.remove()
+	}
+	if lg.demuxTarget != nil {
+		lg.demuxTarget.Detach()
 	}
 	for _, c := range lg.cancels {
 		c()
@@ -169,53 +203,22 @@ func (lg *liveGraph) close() {
 }
 
 // buildOp constructs one operator instance from its spec. Kind names are
-// case-insensitive. This is the full physical-operator menu: the
-// node-local operators from package exec plus the network-facing
-// operators of netops.go.
+// case-insensitive. The deterministic, host-agnostic kinds live in
+// buildSharedOp (subtree.go — the same constructors serve shared
+// chains); this switch adds the private-only operators: catch-up scans,
+// the network-facing operators of netops.go, randomized routing, and the
+// per-query tails.
 func (lg *liveGraph) buildOp(spec ufl.OpSpec) (exec.Op, error) {
+	if op, handled, err := buildSharedOp(lg, spec); handled {
+		return op, err
+	}
 	switch strings.ToLower(spec.Kind) {
 	case "scan":
 		table := spec.Arg("table", spec.Arg("ns", ""))
 		if table == "" {
 			return nil, fmt.Errorf("Scan needs table=")
 		}
-		return lg.newScan(table, true, spec.Arg("only", "")), nil
-
-	case "newdata":
-		table := spec.Arg("table", spec.Arg("ns", ""))
-		if table == "" {
-			return nil, fmt.Errorf("NewData needs table=")
-		}
-		return lg.newScan(table, false, spec.Arg("only", "")), nil
-
-	case "select":
-		pred, err := expr.Parse(spec.Arg("pred", "true"))
-		if err != nil {
-			return nil, err
-		}
-		return exec.NewSelect(pred), nil
-
-	case "project":
-		cols, err := parseProjectCols(spec.Arg("cols", ""))
-		if err != nil {
-			return nil, err
-		}
-		return exec.NewProject(cols...), nil
-
-	case "join":
-		left := splitList(spec.Arg("leftkey", spec.Arg("key", "")))
-		right := splitList(spec.Arg("rightkey", spec.Arg("key", "")))
-		if len(left) == 0 || len(right) == 0 || len(left) != len(right) {
-			return nil, fmt.Errorf("Join needs matching leftkey= and rightkey=")
-		}
-		j := exec.NewSymmetricHashJoin(left, right)
-		if out := spec.Arg("out", ""); out != "" {
-			j.OutTable = out
-		}
-		if spec.Arg("prefix", "true") == "false" {
-			j.PrefixCols = false
-		}
-		return j, nil
+		return newScan(lg, table, true, spec.Arg("only", "")), nil
 
 	case "fetchmatches":
 		ns := spec.Arg("ns", spec.Arg("table", ""))
@@ -235,18 +238,6 @@ func (lg *liveGraph) buildOp(spec ufl.OpSpec) (exec.Op, error) {
 		}
 		return fm, nil
 
-	case "groupby":
-		keys := splitList(spec.Arg("keys", ""))
-		aggs, err := ParseAggSpecs(spec.Arg("aggs", ""))
-		if err != nil {
-			return nil, err
-		}
-		gb := exec.NewGroupBy(keys, aggs)
-		if out := spec.Arg("out", ""); out != "" {
-			gb.OutTable = out
-		}
-		return gb, nil
-
 	case "hieragg":
 		return lg.newHierAgg(spec)
 
@@ -255,46 +246,6 @@ func (lg *liveGraph) buildOp(spec ufl.OpSpec) (exec.Op, error) {
 
 	case "bloomfilter":
 		return lg.newBloomFilter(spec)
-
-	case "topk":
-		k, err := strconv.Atoi(spec.Arg("k", "10"))
-		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("TopK needs positive k=")
-		}
-		col := spec.Arg("col", "")
-		if col == "" {
-			return nil, fmt.Errorf("TopK needs col=")
-		}
-		tk := exec.NewTopK(k, col)
-		tk.Ascending = spec.Arg("asc", "") == "true"
-		return tk, nil
-
-	case "dupelim":
-		return exec.NewDupElim(splitList(spec.Arg("cols", ""))...), nil
-
-	case "limit":
-		n, err := strconv.Atoi(spec.Arg("n", ""))
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("Limit needs n=")
-		}
-		return exec.NewLimit(n), nil
-
-	case "union":
-		return exec.NewUnion(), nil
-
-	case "tee":
-		return exec.NewTee(), nil
-
-	case "queue":
-		q := exec.NewQueue(func(fn func()) { lg.n.rt.Schedule(0, fn) })
-		if b := spec.Arg("batch", ""); b != "" {
-			n, err := strconv.Atoi(b)
-			if err != nil {
-				return nil, fmt.Errorf("Queue batch=: %w", err)
-			}
-			q.Batch = n
-		}
-		return q, nil
 
 	case "eddy":
 		e := exec.NewEddy(lg.n.rt.Rand())

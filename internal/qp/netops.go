@@ -36,14 +36,15 @@ import (
 // Malformed stored objects are discarded best-effort but COUNTED: the
 // catch-up path increments the node's scanMalformed, the newData path is
 // counted by the overlay registry; both surface in Node.Stats.
-func (lg *liveGraph) newScan(table string, withScan bool, only string) *exec.Input {
+func newScan(h opHost, table string, withScan bool, only string) *exec.Input {
+	n := h.node()
 	in := exec.NewInput()
 	in.OnOpen = func(tag exec.Tag) {
 		if withScan {
-			lg.n.dht.LocalScan(table, func(o overlay.Object) bool {
+			n.dht.LocalScan(table, func(o overlay.Object) bool {
 				fb, err := tuple.DecodeFrame(o.Data)
 				if err != nil {
-					lg.n.scanMalformed.Inc()
+					n.scanMalformed.Inc()
 					return true
 				}
 				if fb = fb.FilterTable(only); fb != nil && fb.Len() > 0 {
@@ -52,7 +53,7 @@ func (lg *liveGraph) newScan(table string, withScan bool, only string) *exec.Inp
 				return true
 			})
 		}
-		lg.cancels = append(lg.cancels, lg.n.bus.attach(table, only, lg, tag, in))
+		h.addCancel(n.bus.attach(table, only, h, tag, in))
 	}
 	return in
 }

@@ -58,6 +58,19 @@ type Config struct {
 	// back to the query's proxy, so saturation degrades predictably
 	// instead of exhausting memory. 0 disables the cap.
 	MaxLiveGraphs int
+	// MaxGraphsPerClient caps the opgraphs concurrently executing at this
+	// node PER CLIENT id (§4.1.2 graduated to the executor side): one
+	// client flooding queries is refused — with the same explicit reject
+	// ack — while other clients' admissions are untouched, where the
+	// whole-node MaxLiveGraphs cap would let the flood starve everyone.
+	// Unattributed graphs (empty client id) are exempt, so anonymous
+	// traffic does not collapse into one shared bucket. 0 disables.
+	MaxGraphsPerClient int
+	// MaxFlushesPerTick bounds the registrant flushes one flush-wheel
+	// tick may drive; excess registrants are deferred to later ticks
+	// round-robin and counted as shed (wheel.go load shedding). 0
+	// disables the budget.
+	MaxFlushesPerTick int
 	// DissemBatchWindow is how long a proxy holds broadcast opgraph
 	// dissemination so queries submitted close together ride ONE
 	// distribution-tree frame (the ufl batch codec) instead of paying a
@@ -103,12 +116,21 @@ type Node struct {
 	bus *tableBus
 	// wheel coalesces same-period flush timers onto one timer per node.
 	wheel *flushWheel
+	// subtrees is the node-level shared-subtree cache (subtree.go), keyed
+	// by the chain top's structural subtree signature.
+	subtrees map[uint64]*sharedSubtree
 	// liveGraphs counts opgraphs currently executing — the quantity the
 	// MaxLiveGraphs admission cap bounds.
 	liveGraphs int
 	// sigCounts tracks live graphs by structural signature, the sharing
 	// measure surfaced through Stats.
 	sigCounts map[uint64]int
+	// clientLive counts live graphs per client id — the ledger the
+	// MaxGraphsPerClient quota charges against. Entries are deleted at
+	// zero, so a non-empty map after full teardown is a leak.
+	clientLive map[string]int
+	// clientRejects breaks quota refusals down per client (cumulative).
+	clientRejects map[string]uint64
 
 	// Proxy-side dissemination batching: broadcast opgraphs submitted
 	// within DissemBatchWindow accumulate here and ride one tree frame.
@@ -132,10 +154,16 @@ type Node struct {
 	// Stats.
 	graphsExecuted uint64
 	resultsSent    uint64
-	graphsRejected uint64 // executor side: opgraphs refused by the cap
+	graphsRejected uint64 // executor side: opgraphs refused by the caps
 	rejectAcks     uint64 // proxy side: reject acks received
 	batchFrames    uint64 // dissemination batch frames this proxy sent
 	batchedGraphs  uint64 // opgraphs carried inside those frames
+	// Subtree-sharing counters (subtree.go).
+	subtreeBuilds      uint64 // shared chains built (cache misses)
+	subtreeHits        uint64 // attachments resolved to an existing chain
+	sharedFanout       uint64 // demux deliveries to per-query tails
+	chainFeeds         uint64 // bus deliveries into operator chains (bus.go)
+	clientQuotaRejects uint64 // refusals under MaxGraphsPerClient
 	// scanMalformed counts stored objects dropped by catch-up LocalScans
 	// because their payload failed tuple decode (the newData-path twin
 	// lives in the overlay registry).
@@ -168,14 +196,16 @@ type proxyState struct {
 func NewNode(rt vri.Runtime, cfg Config) *Node {
 	cfg.fill()
 	n := &Node{
-		rt:        rt,
-		cfg:       cfg,
-		dht:       overlay.New(rt, cfg.DHT),
-		running:   make(map[string]*runningQuery),
-		proxied:   make(map[string]*proxyState),
-		sigCounts: make(map[uint64]int),
-		limiter:   newRateLimiter(rt, cfg.MaxQueriesPerMinute),
-		scratch:   wire.NewWriter(256),
+		rt:         rt,
+		cfg:        cfg,
+		dht:        overlay.New(rt, cfg.DHT),
+		running:    make(map[string]*runningQuery),
+		proxied:    make(map[string]*proxyState),
+		sigCounts:  make(map[uint64]int),
+		subtrees:   make(map[uint64]*sharedSubtree),
+		clientLive: make(map[string]int),
+		limiter:    newRateLimiter(rt, cfg.MaxQueriesPerMinute),
+		scratch:    wire.NewWriter(256),
 	}
 	n.bus = newTableBus(n)
 	n.wheel = newFlushWheel(n)
@@ -188,6 +218,14 @@ func NewNode(rt vri.Runtime, cfg Config) *Node {
 // context or this node's events only — it is plain per-node state). 0
 // disables the cap.
 func (n *Node) SetMaxLiveGraphs(max int) { n.cfg.MaxLiveGraphs = max }
+
+// SetMaxGraphsPerClient adjusts the per-client quota at runtime (same
+// driver-context discipline as SetMaxLiveGraphs). 0 disables it.
+func (n *Node) SetMaxGraphsPerClient(max int) { n.cfg.MaxGraphsPerClient = max }
+
+// SetMaxFlushesPerTick adjusts the flush-wheel shedding budget at
+// runtime. 0 disables shedding (every registrant flushes every tick).
+func (n *Node) SetMaxFlushesPerTick(max int) { n.cfg.MaxFlushesPerTick = max }
 
 // Start brings up the overlay, binds the query port, and begins
 // distribution-tree maintenance.
@@ -291,11 +329,53 @@ type NodeStats struct {
 	// proxy; BatchedGraphs counts the opgraphs they carried.
 	BatchFrames   uint64
 	BatchedGraphs uint64
+	// SharedSubtrees is the number of shared operator chains currently
+	// live; SubtreeAttachments counts the query tails attached to them.
+	// Attachments/Subtrees is the operator-level duplication factor
+	// subtree sharing removes (the §3.3.2 multi-query optimization).
+	SharedSubtrees     int
+	SubtreeAttachments int
+	// SubtreeBuilds/SubtreeHits are cumulative cache misses/hits on the
+	// subtree cache: hits/(hits+builds) is the share rate — ≈1 for a
+	// same-shape storm.
+	SubtreeBuilds uint64
+	SubtreeHits   uint64
+	// SharedExecFanout counts demux deliveries from shared chains to
+	// per-query tails: the work that became O(1)-per-publish fan-out
+	// instead of per-query operator execution.
+	SharedExecFanout uint64
+	// ChainFeeds counts bus deliveries into operator chains — the
+	// operator executions actually paid per publish. Private execution
+	// pays one feed per query per publish; shared execution pays one per
+	// DISTINCT chain per publish, so this staying flat in Q is the
+	// sharing proof.
+	ChainFeeds uint64
+	// ClientQuotaRejects counts refusals under the per-client graph
+	// quota (a subset of GraphsRejected); ClientRejects breaks them down
+	// by client id (nil when there were none).
+	ClientQuotaRejects uint64
+	ClientRejects      map[string]uint64
+	// TrackedClients is the number of client ids with live graphs (the
+	// quota ledger's population — nonzero after full teardown is a leak).
+	TrackedClients int
+	// FlushesShed counts wheel flushes deferred by MaxFlushesPerTick.
+	FlushesShed uint64
 }
 
 // Stats returns the node's query-runtime counters.
 func (n *Node) Stats() NodeStats {
 	ss := n.dht.SubscriptionStats()
+	attachments := 0
+	for _, st := range n.subtrees {
+		attachments += st.demux.Live()
+	}
+	var clientRejects map[string]uint64
+	if len(n.clientRejects) > 0 {
+		clientRejects = make(map[string]uint64, len(n.clientRejects))
+		for c, r := range n.clientRejects {
+			clientRejects[c] = r
+		}
+	}
 	return NodeStats{
 		GraphsExecuted:      n.graphsExecuted,
 		ResultsSent:         n.resultsSent,
@@ -312,6 +392,16 @@ func (n *Node) Stats() NodeStats {
 		WheelSlots:          len(n.wheel.slots),
 		BatchFrames:         n.batchFrames,
 		BatchedGraphs:       n.batchedGraphs,
+		SharedSubtrees:      len(n.subtrees),
+		SubtreeAttachments:  attachments,
+		SubtreeBuilds:       n.subtreeBuilds,
+		SubtreeHits:         n.subtreeHits,
+		SharedExecFanout:    n.sharedFanout,
+		ChainFeeds:          n.chainFeeds,
+		ClientQuotaRejects:  n.clientQuotaRejects,
+		ClientRejects:       clientRejects,
+		TrackedClients:      len(n.clientLive),
+		FlushesShed:         n.wheel.shed,
 	}
 }
 
@@ -374,7 +464,7 @@ func (n *Node) Submit(q *ufl.Query, clientID string, onResult func(*tuple.Tuple)
 	// coarse agreement.
 	deadline := n.rt.Now().Add(q.Timeout)
 	for _, g := range q.Graphs {
-		n.disseminate(q, deadline, g)
+		n.disseminate(q, deadline, clientID, g)
 	}
 	return nil
 }
@@ -385,15 +475,16 @@ func (n *Node) Submit(q *ufl.Query, clientID string, onResult func(*tuple.Tuple)
 // rides ONE distribution-tree frame — a storm of Q near-simultaneous
 // query submissions costs one tree broadcast per proxy per window
 // instead of Q.
-func (n *Node) disseminate(q *ufl.Query, deadline time.Time, g ufl.Opgraph) {
+func (n *Node) disseminate(q *ufl.Query, deadline time.Time, client string, g ufl.Opgraph) {
 	switch g.Dissem.Mode {
 	case ufl.DissemLocal:
-		n.acceptGraph(q.ID, deadline, n.rt.Addr(), g)
+		n.acceptGraph(q.ID, deadline, n.rt.Addr(), client, g)
 	case ufl.DissemBroadcast:
 		n.pendingBatch = append(n.pendingBatch, ufl.BatchEntry{
 			QueryID:  q.ID,
 			Deadline: deadline,
 			Proxy:    string(n.rt.Addr()),
+			Client:   client,
 			Graph:    g,
 		})
 		// A query that cannot afford the batch delay ships immediately:
@@ -413,7 +504,7 @@ func (n *Node) disseminate(q *ufl.Query, deadline time.Time, g ufl.Opgraph) {
 			n.batchTimer = n.rt.Schedule(n.cfg.DissemBatchWindow, n.batchFn)
 		}
 	case ufl.DissemEquality:
-		payload := encodeDisseminate(q.ID, deadline, n.rt.Addr(), g)
+		payload := encodeDisseminate(q.ID, deadline, n.rt.Addr(), client, g)
 		// Route to the owner of the named key — the equality-predicate
 		// index: only nodes holding that partition see the query. The
 		// lookup retries: silently dropping a query's only opgraph would
@@ -428,7 +519,7 @@ func (n *Node) disseminate(q *ufl.Query, deadline time.Time, g ufl.Opgraph) {
 					return
 				}
 				if owner == n.rt.Addr() {
-					n.acceptGraph(q.ID, deadline, n.rt.Addr(), g)
+					n.acceptGraph(q.ID, deadline, n.rt.Addr(), client, g)
 					return
 				}
 				n.rt.Send(owner, vri.PortQuery, payload, nil)
@@ -467,10 +558,12 @@ func (n *Node) flushDissemBatch() {
 // acceptGraph instantiates an arriving opgraph and runs it until the
 // query's deadline (§3.3.2). An opgraph executes as soon as it is
 // received; operators must catch up with data that arrived before them
-// (§3.3.4). When the MaxLiveGraphs admission cap is reached the graph is
-// refused with an explicit reject ack to the proxy — bounded degradation
-// under a query storm instead of unbounded state growth.
-func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, g ufl.Opgraph) {
+// (§3.3.4). Admission control is graduated: the whole-node MaxLiveGraphs
+// cap refuses any graph past saturation, and the per-client
+// MaxGraphsPerClient quota refuses one client's flood while other
+// clients keep executing — both with an explicit reject ack to the
+// proxy, so degradation is bounded and visible instead of collapse.
+func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, client string, g ufl.Opgraph) {
 	remaining := deadline.Sub(n.rt.Now())
 	if remaining <= 0 {
 		return // arrived after the query already ended
@@ -487,6 +580,10 @@ func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, g
 		n.rejectGraph(queryID, proxy)
 		return
 	}
+	if !n.clientAdmit(client) {
+		n.rejectGraph(queryID, proxy)
+		return
+	}
 	if rq == nil {
 		rq = &runningQuery{id: queryID, proxy: proxy, timeout: remaining}
 		n.running[queryID] = rq
@@ -498,6 +595,8 @@ func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, g
 		// skipped on this node (best-effort).
 		return
 	}
+	lg.client = client
+	n.clientGraphOpened(client)
 	rq.graphs = append(rq.graphs, lg)
 	n.graphsExecuted++
 	n.liveGraphs++
@@ -594,12 +693,13 @@ const (
 	qmReject
 )
 
-func encodeDisseminate(queryID string, deadline time.Time, proxy vri.Addr, g ufl.Opgraph) []byte {
+func encodeDisseminate(queryID string, deadline time.Time, proxy vri.Addr, client string, g ufl.Opgraph) []byte {
 	w := wire.NewWriter(256)
 	w.U8(qmDisseminate)
 	w.String(queryID)
 	w.Time(deadline)
 	w.String(string(proxy))
+	w.String(client)
 	w.Bytes32(ufl.EncodeGraph(g))
 	return w.Bytes()
 }
@@ -612,6 +712,7 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 		queryID := r.String()
 		deadline := r.Time()
 		proxy := vri.Addr(r.String())
+		client := r.String()
 		graphBytes := r.Bytes32()
 		if r.Err() != nil {
 			return
@@ -620,7 +721,7 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 		if err != nil {
 			return
 		}
-		n.acceptGraph(queryID, deadline, proxy, *g)
+		n.acceptGraph(queryID, deadline, proxy, client, *g)
 
 	case qmDisseminateBatch:
 		entries, err := ufl.DecodeBatch(r.Bytes32())
@@ -629,7 +730,7 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 		}
 		for i := range entries {
 			e := &entries[i]
-			n.acceptGraph(e.QueryID, e.Deadline, vri.Addr(e.Proxy), e.Graph)
+			n.acceptGraph(e.QueryID, e.Deadline, vri.Addr(e.Proxy), e.Client, e.Graph)
 		}
 
 	case qmReject:

@@ -62,11 +62,17 @@ func TestBusSharesSubscriptionAcrossQueries(t *testing.T) {
 	env.Run(time.Second)
 
 	st := n.Stats()
-	if st.LiveGraphs != q || st.Subscriptions != q {
-		t.Fatalf("live=%d subs=%d, want %d/%d", st.LiveGraphs, st.Subscriptions, q, q)
+	// Since subtree sharing, structurally identical graphs don't just
+	// share the subscription — they share the whole operator chain, so
+	// the bus holds ONE attachment (the chain's) for all q queries.
+	if st.LiveGraphs != q || st.Subscriptions != 1 {
+		t.Fatalf("live=%d subs=%d, want %d/1", st.LiveGraphs, st.Subscriptions, q)
 	}
 	if st.SharedSubscriptions != 1 {
 		t.Fatalf("SharedSubscriptions = %d, want 1 (identical access methods must share)", st.SharedSubscriptions)
+	}
+	if st.SharedSubtrees != 1 || st.SubtreeAttachments != q {
+		t.Fatalf("subtrees=%d attachments=%d, want 1/%d", st.SharedSubtrees, st.SubtreeAttachments, q)
 	}
 	if st.DistinctSignatures != 1 {
 		t.Fatalf("DistinctSignatures = %d, want 1", st.DistinctSignatures)
@@ -90,7 +96,8 @@ func TestBusSharesSubscriptionAcrossQueries(t *testing.T) {
 		}
 	}
 	st = n.Stats()
-	if st.LiveGraphs != 0 || st.Subscriptions != 0 || st.SharedSubscriptions != 0 || st.DistinctSignatures != 0 {
+	if st.LiveGraphs != 0 || st.Subscriptions != 0 || st.SharedSubscriptions != 0 || st.DistinctSignatures != 0 ||
+		st.SharedSubtrees != 0 || st.SubtreeAttachments != 0 {
 		t.Fatalf("runtime state leaked after queries ended: %+v", st)
 	}
 }
@@ -107,7 +114,8 @@ func TestTenKQueriesReturnToBaseline(t *testing.T) {
 		}
 	}
 	env.Run(time.Second)
-	if st := n.Stats(); st.LiveGraphs != q || st.Subscriptions != q || st.SharedSubscriptions != 1 {
+	if st := n.Stats(); st.LiveGraphs != q || st.Subscriptions != 1 || st.SharedSubscriptions != 1 ||
+		st.SharedSubtrees != 1 || st.SubtreeAttachments != q || st.SubtreeBuilds != 1 || st.SubtreeHits != q-1 {
 		t.Fatalf("storm state: %+v", st)
 	}
 	// Dispatch cost with 10k live queries: one decode, shared.
@@ -118,7 +126,8 @@ func TestTenKQueriesReturnToBaseline(t *testing.T) {
 
 	env.Run(40 * time.Second) // all queries time out and tear down
 	st := n.Stats()
-	if st.LiveGraphs != 0 || st.Subscriptions != 0 || st.SharedSubscriptions != 0 {
+	if st.LiveGraphs != 0 || st.Subscriptions != 0 || st.SharedSubscriptions != 0 ||
+		st.SharedSubtrees != 0 || st.SubtreeAttachments != 0 {
 		t.Fatalf("after 10k queries closed: %+v", st)
 	}
 	if got := n.DHT().Subscribers("fw"); got != 0 {
@@ -154,8 +163,14 @@ func TestFlushWheelCoalescesTimers(t *testing.T) {
 	if st.FlushTimerFires > 6 {
 		t.Fatalf("FlushTimerFires = %d for %d queries; wheel is not coalescing", st.FlushTimerFires, q)
 	}
-	if st.GraphFlushes != st.FlushTimerFires*q {
-		t.Fatalf("GraphFlushes = %d, want fires(%d) x queries(%d)", st.GraphFlushes, st.FlushTimerFires, q)
+	// Since subtree sharing, the q same-shape queries ride ONE wheel
+	// registrant (the shared chain), so flush work is O(1) in q: one
+	// chain flush per fire, fanned to the q tails by the demux.
+	if st.GraphFlushes != st.FlushTimerFires {
+		t.Fatalf("GraphFlushes = %d, want fires(%d) x 1 shared chain", st.GraphFlushes, st.FlushTimerFires)
+	}
+	if st.SharedExecFanout < uint64(q) {
+		t.Fatalf("SharedExecFanout = %d, want >= %d (first data flush fans to every tail)", st.SharedExecFanout, q)
 	}
 	if len(n.wheel.slots) != 1 {
 		t.Fatalf("wheel slots = %d, want 1", len(n.wheel.slots))

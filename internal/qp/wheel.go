@@ -26,7 +26,15 @@ type flushWheel struct {
 	slots map[time.Duration]*wheelSlot
 
 	fires   uint64 // slot timer events dispatched (the coalesced cost)
-	flushes uint64 // graph flushes those events drove (the work delivered)
+	flushes uint64 // registrant flushes those events drove (the work delivered)
+	shed    uint64 // flushes deferred by the per-tick budget (load shedding)
+}
+
+// flusher is a wheel registrant: a private liveGraph or a shared subtree
+// (one entry serves every query attached to the chain).
+type flusher interface {
+	flush()
+	done() bool
 }
 
 type wheelSlot struct {
@@ -35,11 +43,15 @@ type wheelSlot struct {
 	entries complist.List[*wheelEntry]
 	timer   vri.Timer
 	tickFn  func() // pre-bound so rearming allocates nothing (PR 4 idiom)
+	// next is the round-robin resume ordinal for budgeted ticks: when the
+	// per-tick flush budget sheds registrants, the next tick starts where
+	// this one stopped so every registrant still flushes eventually.
+	next int
 }
 
 type wheelEntry struct {
 	slot    *wheelSlot
-	lg      *liveGraph
+	target  flusher
 	removed bool
 }
 
@@ -55,7 +67,7 @@ func newFlushWheel(n *Node) *flushWheel {
 // existing slot sees its first flush at the slot's next tick, which may
 // be sooner than one full period after open — flushes are best-effort
 // emission points, not exact windows).
-func (w *flushWheel) add(period time.Duration, lg *liveGraph) *wheelEntry {
+func (w *flushWheel) add(period time.Duration, f flusher) *wheelEntry {
 	sl := w.slots[period]
 	if sl == nil {
 		sl = &wheelSlot{w: w, period: period}
@@ -71,22 +83,52 @@ func (w *flushWheel) add(period time.Duration, lg *liveGraph) *wheelEntry {
 		w.slots[period] = sl
 		sl.timer = w.n.rt.Schedule(period, sl.tickFn)
 	}
-	e := &wheelEntry{slot: sl, lg: lg}
+	e := &wheelEntry{slot: sl, target: f}
 	sl.entries.Add(e)
 	return e
 }
 
-// tick flushes every live graph of the slot, then rearms — unless the
-// slot emptied (all graphs closed, possibly during this very tick).
+// tick flushes the slot's live registrants, then rearms — unless the
+// slot emptied (everything closed, possibly during this very tick).
+//
+// When MaxFlushesPerTick is set and the slot holds more live registrants
+// than the budget, the tick flushes only a budget's worth and DEFERS the
+// rest to later ticks, resuming round-robin where it stopped — the
+// load-shedding analog of a wall-clock wheel overrun, made deterministic:
+// under extreme concurrency each registrant flushes every
+// ceil(live/budget) periods instead of the node stalling inside one tick.
+// Shed flushes are counted (Stats.FlushesShed) so degradation is visible,
+// never silent.
 func (sl *wheelSlot) tick() {
 	sl.w.fires++
-	sl.entries.Each(func(e *wheelEntry) {
-		if e.lg.closed {
-			return
-		}
-		sl.w.flushes++
-		e.lg.flush()
-	})
+	budget := sl.w.n.cfg.MaxFlushesPerTick
+	live := sl.entries.Live()
+	if budget <= 0 || live <= budget {
+		sl.next = 0
+		sl.entries.Each(func(e *wheelEntry) {
+			if e.target.done() {
+				return
+			}
+			sl.w.flushes++
+			e.target.flush()
+		})
+	} else {
+		start := sl.next % live
+		pos := 0
+		sl.entries.Each(func(e *wheelEntry) {
+			if e.target.done() {
+				return
+			}
+			if (pos-start+live)%live < budget {
+				sl.w.flushes++
+				e.target.flush()
+			} else {
+				sl.w.shed++
+			}
+			pos++
+		})
+		sl.next = (start + budget) % live
+	}
 	if !sl.entries.Retired() {
 		sl.timer = sl.w.n.rt.Schedule(sl.period, sl.tickFn)
 	}

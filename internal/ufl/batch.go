@@ -24,7 +24,9 @@ import (
 
 // BatchCodecVersion is the wire version of the multi-opgraph batch frame.
 // Bump on any layout change; DecodeBatch rejects unknown versions.
-const BatchCodecVersion = 2
+// Version 3 added the submitting client id to every entry (per-client
+// admission quotas need it on the executor side).
+const BatchCodecVersion = 3
 
 // MaxBatchEntries is the most entries one batch frame can carry (the
 // header's u16 entry count). Senders must split larger batches;
@@ -42,6 +44,9 @@ type BatchEntry struct {
 	Deadline time.Time
 	// Proxy is the address of the node results flow back to.
 	Proxy string
+	// Client identifies the submitting client, so executors can enforce
+	// per-client admission quotas without a round trip to the proxy.
+	Client string
 	// Graph is the opgraph to instantiate.
 	Graph Opgraph
 }
@@ -61,6 +66,7 @@ func EncodeBatch(entries []BatchEntry) []byte {
 		w.String(e.QueryID)
 		w.Time(e.Deadline)
 		w.String(e.Proxy)
+		w.String(e.Client)
 		encodeGraph(w, e.Graph)
 	}
 	return w.Bytes()
@@ -76,7 +82,7 @@ func DecodeBatch(b []byte) ([]BatchEntry, error) {
 	n := int(r.U16())
 	entries := make([]BatchEntry, 0, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
-		e := BatchEntry{QueryID: r.String(), Deadline: r.Time(), Proxy: r.String()}
+		e := BatchEntry{QueryID: r.String(), Deadline: r.Time(), Proxy: r.String(), Client: r.String()}
 		e.Graph = decodeGraph(r)
 		entries = append(entries, e)
 	}
@@ -113,20 +119,7 @@ func (g *Opgraph) Signature(queryID string) uint64 {
 	// The id is replaced only when a value IS the id or starts with it
 	// followed by a separator (the "<id>.partial" / "<id>!op" rendezvous
 	// patterns the frontends generate).
-	norm := func(s string) string {
-		if queryID == "" || s == "" {
-			return s
-		}
-		if s == queryID {
-			return "\x00q\x00"
-		}
-		if strings.HasPrefix(s, queryID) && len(s) > len(queryID) {
-			if c := s[len(queryID)]; !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
-				return "\x00q\x00" + s[len(queryID):]
-			}
-		}
-		return s
-	}
+	norm := normalizer(queryID)
 	// Operator ids are normalized to their declaration index.
 	opIndex := make(map[string]string, len(g.Ops))
 	for i, op := range g.Ops {
@@ -154,6 +147,124 @@ func (g *Opgraph) Signature(queryID string) uint64 {
 		h = sigStr(h, fmt.Sprintf("%d", e.Slot))
 	}
 	return h
+}
+
+// SubtreeSignatures extends Signature from whole-graph to per-operator
+// granularity: for every op it returns a structural fingerprint of the
+// subtree rooted at that op's inputs — the op's normalized kind and
+// arguments folded together with the signatures of everything feeding it,
+// recursively, plus the graph's dissemination context. Two ops in
+// different queries whose entire upstream chains are structurally
+// identical (same kinds, same normalized args, same wiring) get the same
+// subtree signature even when op ids differ or argument values embed the
+// query id.
+//
+// The query processor keys operator-level work sharing on these: a
+// NewData→Select→GroupBy chain appearing in 1000 queries hashes to one
+// subtree signature, so all 1000 resolve to one shared refcounted
+// instance (§3.3.2's multi-query optimization beyond shared access
+// methods).
+//
+// Normalization rules match Signature exactly — token-anchored query-id
+// replacement, lowercased kinds, sorted args — so a signature is stable
+// across op renames and query-id-embedding argument values. Input edges
+// fold in declaration order with their slots, so slot wiring and (for
+// order-sensitive ops like Union) child order are part of the identity.
+// Cycles (which Validate does not forbid) fold a fixed marker instead of
+// recursing forever.
+func (g *Opgraph) SubtreeSignatures(queryID string) map[string]uint64 {
+	norm := normalizer(queryID)
+	// ctx folds the graph-level dissemination context into every subtree:
+	// chains running under different dissemination modes or rendezvous
+	// keys must not unify even when their op structure matches.
+	ctx := uint64(14695981039346656037)
+	ctx = sigStr(ctx, g.Dissem.Mode)
+	ctx = sigStr(ctx, norm(g.Dissem.Namespace))
+	ctx = sigStr(ctx, norm(g.Dissem.Key))
+
+	specs := make(map[string]*OpSpec, len(g.Ops))
+	for i := range g.Ops {
+		specs[g.Ops[i].ID] = &g.Ops[i]
+	}
+	// inputs[id] lists the edges feeding op id, in declaration order.
+	inputs := make(map[string][]Edge, len(g.Ops))
+	for _, e := range g.Edges {
+		inputs[e.To] = append(inputs[e.To], e)
+	}
+
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(g.Ops))
+	sigs := make(map[string]uint64, len(g.Ops))
+	var visit func(id string) uint64
+	visit = func(id string) uint64 {
+		switch state[id] {
+		case done:
+			return sigs[id]
+		case visiting:
+			// A cycle: fold a marker rather than recursing. The graph is
+			// malformed, but the signature must still terminate.
+			return sigStr(ctx, "\x00cycle\x00")
+		}
+		state[id] = visiting
+		h := ctx
+		spec, ok := specs[id]
+		if !ok {
+			// Edge referencing an undeclared op (Validate rejects these,
+			// but signatures must not panic on malformed graphs).
+			h = sigStr(h, "\x00missing\x00")
+		} else {
+			h = sigStr(h, strings.ToLower(spec.Kind))
+			keys := make([]string, 0, len(spec.Args))
+			for k := range spec.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				h = sigStr(h, k)
+				h = sigStr(h, norm(spec.Args[k]))
+			}
+		}
+		h = sigStr(h, "|")
+		for _, e := range inputs[id] {
+			h = sigStr(h, fmt.Sprintf("%d", e.Slot))
+			child := visit(e.From)
+			for i := 0; i < 8; i++ {
+				h ^= (child >> (8 * i)) & 0xff
+				h *= 1099511628211
+			}
+		}
+		state[id] = done
+		sigs[id] = h
+		return h
+	}
+	for _, op := range g.Ops {
+		visit(op.ID)
+	}
+	return sigs
+}
+
+// normalizer returns the token-anchored query-id normalization Signature
+// documents: the id is replaced only when a value IS the id or starts
+// with it followed by a non-alphanumeric separator, so a short id ("fw")
+// cannot mangle unrelated text ("fwlogs").
+func normalizer(queryID string) func(string) string {
+	return func(s string) string {
+		if queryID == "" || s == "" {
+			return s
+		}
+		if s == queryID {
+			return "\x00q\x00"
+		}
+		if strings.HasPrefix(s, queryID) && len(s) > len(queryID) {
+			if c := s[len(queryID)]; !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				return "\x00q\x00" + s[len(queryID):]
+			}
+		}
+		return s
+	}
 }
 
 // sigStr folds one string (plus a terminator, so "ab"+"c" differs from

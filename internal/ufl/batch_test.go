@@ -21,8 +21,8 @@ func sampleGraph(id, table string) Opgraph {
 func TestBatchCodecRoundTrip(t *testing.T) {
 	at := time.Unix(1000, 0).UTC()
 	entries := []BatchEntry{
-		{QueryID: "q1", Deadline: at, Proxy: "node-1", Graph: sampleGraph("g1", "fwlogs")},
-		{QueryID: "q2", Deadline: at.Add(time.Second), Proxy: "node-2", Graph: sampleGraph("g2", "files")},
+		{QueryID: "q1", Deadline: at, Proxy: "node-1", Client: "tenant-a", Graph: sampleGraph("g1", "fwlogs")},
+		{QueryID: "q2", Deadline: at.Add(time.Second), Proxy: "node-2", Client: "tenant-b", Graph: sampleGraph("g2", "files")},
 	}
 	got, err := DecodeBatch(EncodeBatch(entries))
 	if err != nil {
@@ -33,7 +33,8 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 	}
 	for i := range entries {
 		if got[i].QueryID != entries[i].QueryID || !got[i].Deadline.Equal(entries[i].Deadline) ||
-			got[i].Proxy != entries[i].Proxy || got[i].Graph.ID != entries[i].Graph.ID {
+			got[i].Proxy != entries[i].Proxy || got[i].Client != entries[i].Client ||
+			got[i].Graph.ID != entries[i].Graph.ID {
 			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], entries[i])
 		}
 		if len(got[i].Graph.Ops) != 3 || len(got[i].Graph.Edges) != 2 {
@@ -112,6 +113,67 @@ func TestEncodeBatchRefusesOversizedBatch(t *testing.T) {
 		}
 	}()
 	EncodeBatch(entries)
+}
+
+// TestSubtreeSignatures: per-op subtree fingerprints unify across op
+// renames and query ids when (and only when) the entire upstream chain
+// matches structurally.
+func TestSubtreeSignatures(t *testing.T) {
+	a := sampleGraph("g1", "fwlogs")
+	b := sampleGraph("zzz", "fwlogs")
+	b.Ops[0].ID, b.Ops[1].ID, b.Ops[2].ID = "s2", "a2", "o2"
+	b.Edges = []Edge{{From: "s2", To: "a2"}, {From: "a2", To: "o2"}}
+	sa, sb := a.SubtreeSignatures(""), b.SubtreeSignatures("")
+	if sa["scan"] != sb["s2"] || sa["agg"] != sb["a2"] || sa["out"] != sb["o2"] {
+		t.Fatalf("op renaming changed subtree signatures: %v vs %v", sa, sb)
+	}
+
+	// A shared prefix unifies even when the tails differ: the agg subtree
+	// over the same scan hashes the same whether a Result or a Put
+	// consumes it.
+	c := sampleGraph("g1", "fwlogs")
+	c.Ops[2] = OpSpec{ID: "out", Kind: "Put", Args: map[string]string{"table": "sink"}}
+	sc := c.SubtreeSignatures("")
+	if sa["agg"] != sc["agg"] {
+		t.Fatal("differing tail changed an upstream subtree signature")
+	}
+	if sa["out"] == sc["out"] {
+		t.Fatal("Result and Put tails over the same chain must differ")
+	}
+
+	// A differing source propagates all the way down.
+	d := sampleGraph("g1", "otherlogs")
+	sd := d.SubtreeSignatures("")
+	if sa["scan"] == sd["scan"] || sa["agg"] == sd["agg"] || sa["out"] == sd["out"] {
+		t.Fatal("different scan table must change every downstream subtree signature")
+	}
+
+	// Query-id-embedded argument values normalize away, as in Signature.
+	qa, qb := sampleGraph("p1", "t"), sampleGraph("p1", "t")
+	qa.Ops[1].Args["ns"] = "query-17.partial"
+	qb.Ops[1].Args["ns"] = "query-99.partial"
+	if qa.SubtreeSignatures("query-17")["agg"] != qb.SubtreeSignatures("query-99")["agg"] {
+		t.Fatal("query-id normalization failed for subtree signatures")
+	}
+
+	// Dissemination context is part of every subtree's identity.
+	e := sampleGraph("g1", "fwlogs")
+	e.Dissem = Dissemination{Mode: DissemLocal}
+	if a.SubtreeSignatures("")["scan"] == e.SubtreeSignatures("")["scan"] {
+		t.Fatal("dissemination mode must be part of the subtree signature")
+	}
+
+	// Slot wiring matters.
+	f := sampleGraph("g1", "fwlogs")
+	f.Edges = []Edge{{From: "scan", To: "agg", Slot: 1}, {From: "agg", To: "out"}}
+	if a.SubtreeSignatures("")["agg"] == f.SubtreeSignatures("")["agg"] {
+		t.Fatal("different input slot, same subtree signature")
+	}
+
+	// Cycles terminate instead of recursing forever.
+	g := sampleGraph("g1", "fwlogs")
+	g.Edges = append(g.Edges, Edge{From: "out", To: "scan"})
+	_ = g.SubtreeSignatures("")
 }
 
 // TestSignatureNormalizationIsTokenAnchored: a query id that is a
