@@ -73,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shapes := fs.Int("shapes", 0, "qstorm: number of distinct operator-chain shapes across the queries (default 1 = all share one chain per node)")
 	clients := fs.Int("clients", 0, "qstorm: number of client identities the queries are spread across (default 1)")
 	quota := fs.Int("quota", 0, "qstorm: per-client live-graph quota on every node (0 = unlimited); overflow submissions are refused with acked rejects")
+	trees := fs.Int("trees", 0, "qstorm: redundant dissemination trees per node (default 1; >1 forces a cold cluster build)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulator worker shards (0 = sequential scheduler; results are identical for any count)")
 	ckptSave := fs.String("checkpoint-save", "", "after building the cluster, save the converged ring to this file")
@@ -257,7 +258,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			start := time.Now()
 			res := experiments.RunQStorm(experiments.QStormConfig{
 				Nodes: *nodes, Queries: *queries, Shapes: *shapes, Clients: *clients,
-				MaxGraphsPerClient: *quota, Workers: *workers, Warm: warm, Seed: *seed,
+				MaxGraphsPerClient: *quota, Trees: *trees, Workers: *workers, Warm: warm, Seed: *seed,
 			})
 			wall := time.Since(start)
 			fmt.Fprint(stdout, res.Render())

@@ -32,8 +32,10 @@ import (
 
 // CheckpointFormatVersion is the on-disk format version. Bump it on any
 // incompatible layout change — the CI checkpoint cache key embeds it, so
-// stale cached rings are rebuilt instead of misread.
-const CheckpointFormatVersion = 1
+// stale cached rings are rebuilt instead of misread. Version 2: the qp
+// tree snapshot grew a tree-count prefix (redundant dissemination
+// trees).
+const CheckpointFormatVersion = 2
 
 // checkpointMagic guards against feeding an arbitrary file to restore.
 const checkpointMagic = "PIERCKPT"

@@ -76,9 +76,20 @@ func clusterConfig(n int) qp.Config {
 // retries are scheduled on the joining node itself, and the driver only
 // inspects node state between runs.
 func BuildCluster(env *sim.Env, n int, prefix string) []*qp.Node {
+	return BuildClusterWith(env, n, prefix, nil)
+}
+
+// BuildClusterWith is BuildCluster with a config hook: tweak (if
+// non-nil) edits the scale-derived clusterConfig before any node is
+// built — scenarios use it to set qp.Config.NumTrees without this
+// package growing a knob per Config field.
+func BuildClusterWith(env *sim.Env, n int, prefix string, tweak func(*qp.Config)) []*qp.Node {
 	sims := env.SpawnN(prefix, n)
 	nodes := make([]*qp.Node, n)
 	cfg := clusterConfig(n)
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	for i, s := range sims {
 		nodes[i] = qp.NewNode(s, cfg)
 		if err := nodes[i].Start(); err != nil {

@@ -82,6 +82,11 @@ type QStormConfig struct {
 	// MaxFlushesPerTick, when >0, bounds flush work per wheel tick on
 	// every node (deterministic load shedding, counted not silent).
 	MaxFlushesPerTick int
+	// Trees, when >1, gives every node that many redundant dissemination
+	// trees (qp.Config.NumTrees, paper §3.3.3). Forces a cold build:
+	// checkpoints are taken at the default tree count and restore
+	// rejects a tree-count mismatch.
+	Trees int
 	// Workers selects the scheduler (0 = sequential).
 	Workers int
 	// Warm selects the cluster warm-start path (checkpoint save/load).
@@ -212,12 +217,24 @@ type QStormResult struct {
 	ClientRejects                      map[string]uint64
 	// Malformed counts decode failures (the qstorm acceptance asserts 0).
 	Malformed uint64
+	// SendRetries/SendExhausted count nacked query-plane sends retried /
+	// abandoned; the Tree* counters count nack-driven dissemination-tree
+	// repair actions (child drops, payload reinjections, orphan
+	// re-joins). All zero on a healthy lossless storm.
+	SendRetries, SendExhausted              uint64
+	TreeRepairs, TreeReinjects, TreeRejoins uint64
+	// CompletenessMin/Mean summarize per-query dissemination
+	// completeness (contributing / admitting executors) over the
+	// CompletenessMeasured queries whose tallies finalized.
+	CompletenessMin, CompletenessMean float64
+	CompletenessMeasured              int
 	// Leaked* must all be 0 after every query has torn down — the
 	// 10k-queries-no-leak property at scenario scale, extended to shared
-	// chains, their attachments, and the per-client quota ledger.
+	// chains, their attachments, the per-client quota ledger, and the
+	// ack-tracked send machinery (every retry state released).
 	LeakedSubscriptions, LeakedGraphs int
 	LeakedSubtrees, LeakedAttachments int
-	LeakedClients                     int
+	LeakedClients, LeakedPendingSends int
 	// Events / Msgs are simulator-wide totals for the determinism diff.
 	Events, Msgs uint64
 }
@@ -251,6 +268,11 @@ func (r QStormResult) Render() string {
 		}
 		quota = fmt.Sprintf("quota rejects by client: %s\n", strings.Join(parts, " "))
 	}
+	completeness := "completeness: no finalized queries\n"
+	if r.CompletenessMeasured > 0 {
+		completeness = fmt.Sprintf("completeness: min=%.3f mean=%.3f over %d finalized queries\n",
+			r.CompletenessMin, r.CompletenessMean, r.CompletenessMeasured)
+	}
 	return fmt.Sprintf(
 		"nodes=%d queries=%d submitted=%d completed=%d result-rows=%d\n"+
 			"publishes=%d decodes=%d (per-subscriber baseline %d, %.1fx less decode work)\n"+
@@ -261,7 +283,9 @@ func (r QStormResult) Render() string {
 			"peak: live-graphs=%d subscriptions=%d shared-subs=%d subtrees=%d attachments=%d\n"+
 			"admission: rejected=%d reject-acks=%d quota-rejects=%d  malformed=%d\n"+
 			quota+
-			"teardown leaks: subscriptions=%d graphs=%d subtrees=%d attachments=%d clients=%d\n"+
+			"reliability: send-retries=%d send-exhausted=%d tree-repairs=%d tree-reinjects=%d tree-rejoins=%d\n"+
+			completeness+
+			"teardown leaks: subscriptions=%d graphs=%d subtrees=%d attachments=%d clients=%d pending-sends=%d\n"+
 			"traffic: events=%d msgs=%d\n",
 		r.Nodes, r.Queries, r.Submitted, r.Completed, r.ResultRows,
 		r.Publishes, r.Decodes, r.DecodeBaseline, ratio(r.DecodeBaseline, r.Decodes),
@@ -271,7 +295,8 @@ func (r QStormResult) Render() string {
 		r.BatchFrames, r.BatchedGraphs, graphsPerFrame,
 		r.PeakLiveGraphs, r.PeakSubscriptions, r.PeakSharedSubs, r.PeakSharedSubtrees, r.PeakAttachments,
 		r.Rejected, r.RejectAcks, r.QuotaRejects, r.Malformed,
-		r.LeakedSubscriptions, r.LeakedGraphs, r.LeakedSubtrees, r.LeakedAttachments, r.LeakedClients,
+		r.SendRetries, r.SendExhausted, r.TreeRepairs, r.TreeReinjects, r.TreeRejoins,
+		r.LeakedSubscriptions, r.LeakedGraphs, r.LeakedSubtrees, r.LeakedAttachments, r.LeakedClients, r.LeakedPendingSends,
 		r.Events, r.Msgs)
 }
 
@@ -306,7 +331,14 @@ func RunQStorm(cfg QStormConfig) QStormResult {
 	cfg.fill()
 	env := sim.NewEnv(sim.Options{Seed: cfg.Seed})
 	env.SetWorkers(cfg.Workers)
-	nodes := buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
+	var nodes []*qp.Node
+	if cfg.Trees > 1 {
+		nodes = BuildClusterWith(env, cfg.Nodes, "n", func(c *qp.Config) {
+			c.NumTrees = cfg.Trees
+		})
+	} else {
+		nodes = buildOrRestore(env, cfg.Nodes, "n", cfg.Warm)
+	}
 	for _, n := range nodes {
 		if cfg.MaxLiveGraphs > 0 {
 			n.SetMaxLiveGraphs(cfg.MaxLiveGraphs)
@@ -375,6 +407,16 @@ func RunQStorm(cfg QStormConfig) QStormResult {
 		if rs.Done() {
 			res.Completed++
 		}
+		if c, ok := rs.Completeness(); ok {
+			if res.CompletenessMeasured == 0 || c < res.CompletenessMin {
+				res.CompletenessMin = c
+			}
+			res.CompletenessMean += c
+			res.CompletenessMeasured++
+		}
+	}
+	if res.CompletenessMeasured > 0 {
+		res.CompletenessMean /= float64(res.CompletenessMeasured)
 	}
 	res.Publishes = uint64(cfg.Nodes * cfg.EventsPerNode)
 	for i, n := range nodes {
@@ -403,11 +445,17 @@ func RunQStorm(cfg QStormConfig) QStormResult {
 			res.ClientRejects[c] += k
 		}
 		res.Malformed += st.MalformedDrops
+		res.SendRetries += st.SendRetries
+		res.SendExhausted += st.SendExhausted
+		res.TreeRepairs += st.TreeRepairs
+		res.TreeReinjects += st.TreeReinjects
+		res.TreeRejoins += st.TreeRejoins
 		res.LeakedSubscriptions += st.Subscriptions
 		res.LeakedGraphs += st.LiveGraphs
 		res.LeakedSubtrees += st.SharedSubtrees
 		res.LeakedAttachments += st.SubtreeAttachments
 		res.LeakedClients += st.TrackedClients
+		res.LeakedPendingSends += st.PendingSends
 	}
 	// The per-subscriber-decode counterfactual: every publish decoded
 	// once per query-level subscriber on the publishing node. Each node

@@ -48,6 +48,10 @@ type ScenarioSpec struct {
 	// quota to every node: one client identity's concurrent opgraphs
 	// are capped, refusals are acked explicitly, other clients run on.
 	MaxGraphsPerClient int
+	// Trees, when > 0, overrides qp.Config.NumTrees on every node
+	// (including respawns): redundant distribution trees with distinct
+	// root keys, the paper's §3.3.3 reliability knob.
+	Trees int
 
 	Topology  TopologySpec
 	Network   NetworkSpec
@@ -127,10 +131,15 @@ type EventSpec struct {
 	// kill: fail Count nodes (or Fraction of the live population),
 	// sampled deterministically from the live set, never the bootstrap
 	// node. RespawnAfter > 0 spawns and joins a replacement for each
-	// victim that much later (a churn burst).
+	// victim that much later (a churn burst). Interior restricts the
+	// victim pool to interior distribution-tree nodes (live tree
+	// children recorded) so the kill provably orphans subtrees; if
+	// fewer interior candidates than victims exist, the full pool is
+	// used unchanged.
 	Count        int
 	Fraction     float64
 	RespawnAfter time.Duration
+	Interior     bool
 
 	// link-loss: degrade the link between node indices A and B with
 	// Loss drop probability and ExtraLatency added delay; ClearAfter >
@@ -151,8 +160,10 @@ type EventSpec struct {
 type AssertSpec struct {
 	// MinResultRows: total continuous-agg result rows >= this.
 	MinResultRows *int
-	// RecoveredRows: continuous-agg rows arriving after the LAST heal
-	// event >= this (requires a partition event with heal-after).
+	// RecoveredRows: continuous-agg rows arriving after the LAST
+	// recovery event — a partition heal or a kill's respawn — >= this
+	// (requires a partition event with heal-after, or a kill event with
+	// respawn-after).
 	RecoveredRows *int
 	// MinQueriesDone: at least this many submitted queries (all kinds)
 	// reached Done (bounded result loss under churn).
@@ -161,6 +172,10 @@ type AssertSpec struct {
 	AllQueriesDone bool
 	// LookupCompleteness: lookup hits / lookups submitted >= this.
 	LookupCompleteness *float64
+	// MinCompleteness: every continuous-agg query that reached Done
+	// reports ResultSet.Completeness() >= this (contributing nodes /
+	// admitted nodes — the query plane's graceful-degradation measure).
+	MinCompleteness *float64
 	// P99LatencyMax: 99th-percentile lookup latency <= this; a p99
 	// falling among misses fails.
 	P99LatencyMax *time.Duration
@@ -596,6 +611,7 @@ func ParseScenario(src string) (ScenarioSpec, error) {
 		f.durField("duration", &spec.Duration),
 		f.durField("teardown", &spec.Teardown),
 		f.intField("max-graphs-per-client", &spec.MaxGraphsPerClient),
+		f.intField("trees", &spec.Trees),
 	); err != nil {
 		return spec, err
 	}
@@ -650,6 +666,8 @@ func ParseScenario(src string) (ScenarioSpec, error) {
 		return spec, fmt.Errorf("scenario needs nodes >= 2, got %d", spec.Nodes)
 	case spec.Duration <= 0:
 		return spec, fmt.Errorf("scenario needs a positive duration")
+	case spec.Trees < 0 || spec.Trees > 8:
+		return spec, fmt.Errorf("scenario trees must be 1..8 (0 for the default), got %d", spec.Trees)
 	}
 	for _, ev := range spec.Events {
 		if ev.At < 0 || ev.At > spec.Duration {
@@ -657,14 +675,17 @@ func ParseScenario(src string) (ScenarioSpec, error) {
 		}
 	}
 	if spec.Assert.RecoveredRows != nil {
-		healed := false
+		recovers := false
 		for _, ev := range spec.Events {
 			if ev.Action == "partition" && ev.HealAfter > 0 {
-				healed = true
+				recovers = true
+			}
+			if ev.Action == "kill" && ev.RespawnAfter > 0 {
+				recovers = true
 			}
 		}
-		if !healed {
-			return spec, fmt.Errorf("assert recovered-rows requires a partition event with heal-after")
+		if !recovers {
+			return spec, fmt.Errorf("assert recovered-rows requires a partition event with heal-after or a kill event with respawn-after")
 		}
 	}
 	if spec.Assert.MinQuotaRejects != nil && spec.MaxGraphsPerClient <= 0 {
@@ -794,6 +815,7 @@ func decodeEvent(v *yval) (EventSpec, error) {
 			f.intField("count", &e.Count),
 			f.floatField("fraction", &e.Fraction),
 			f.durField("respawn-after", &e.RespawnAfter),
+			f.boolField("interior", &e.Interior),
 		)
 		if err == nil && e.Count <= 0 && e.Fraction <= 0 {
 			err = decodeErr{v.line, "kill needs count or fraction"}
@@ -860,6 +882,16 @@ func decodeAssert(v *yval) (AssertSpec, error) {
 			return a, decodeErr{v.line, "lookup-completeness outside [0, 1]"}
 		}
 		a.LookupCompleteness = &x
+	}
+	if v := f.get("min-completeness"); v != nil {
+		x, err := v.asFloat()
+		if err != nil {
+			return a, err
+		}
+		if x < 0 || x > 1 {
+			return a, decodeErr{v.line, "min-completeness outside [0, 1]"}
+		}
+		a.MinCompleteness = &x
 	}
 	if v := f.get("p99-latency-max"); v != nil {
 		d, err := v.asDur()

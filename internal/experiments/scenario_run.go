@@ -118,7 +118,9 @@ func RunScenario(spec ScenarioSpec, workers int) ScenarioOutcome {
 		Topology: scenarioTopology(spec),
 	})
 	env.SetWorkers(workers)
-	nodes := BuildCluster(env, spec.Nodes, "s")
+	nodes := BuildClusterWith(env, spec.Nodes, "s", func(cfg *qp.Config) {
+		cfg.NumTrees = spec.Trees
+	})
 	r := &scenarioRun{
 		spec:     spec,
 		env:      env,
@@ -338,6 +340,28 @@ func (r *scenarioRun) armEvent(ev EventSpec) {
 					candidates = append(candidates, a)
 				}
 			}
+			if ev.Interior {
+				// Restrict the victim pool to interior dissemination-tree
+				// nodes — the ones whose death orphans a subtree, which is
+				// what a tree-repair scenario wants to exercise. Reading
+				// TreeChildren here is driver context (all workers parked).
+				// If the trees are too flat to supply enough interior
+				// victims, fall back to the full pool rather than under-
+				// killing the requested count.
+				var interior []vri.Addr
+				for _, a := range candidates {
+					if r.addrToQP[a].TreeChildren() > 0 {
+						interior = append(interior, a)
+					}
+				}
+				want := ev.Count
+				if want <= 0 {
+					want = int(ev.Fraction*float64(len(candidates)) + 0.5)
+				}
+				if len(interior) >= want {
+					candidates = interior
+				}
+			}
 			k := ev.Count
 			if k <= 0 {
 				k = int(ev.Fraction*float64(len(candidates)) + 0.5)
@@ -366,7 +390,11 @@ func (r *scenarioRun) armEvent(ev EventSpec) {
 					for j := 0; j < n; j++ {
 						r.respawn()
 					}
-					r.tl("respawn: %d replacement nodes joining", n)
+					// A respawn is a recovery point like a partition heal:
+					// rows arriving after it prove the query plane healed.
+					r.rowsAtLastHeal = r.aggRows()
+					r.healed = true
+					r.tl("respawn: %d replacement nodes joining (result rows so far: %d)", n, r.rowsAtLastHeal)
 				})
 			}
 		})
@@ -402,7 +430,9 @@ func (r *scenarioRun) armEvent(ev EventSpec) {
 func (r *scenarioRun) respawn() {
 	r.respawns++
 	sn := r.env.Spawn(fmt.Sprintf("r-%d", r.respawns))
-	nd := qp.NewNode(sn, clusterConfig(r.spec.Nodes))
+	cfg := clusterConfig(r.spec.Nodes)
+	cfg.NumTrees = r.spec.Trees
+	nd := qp.NewNode(sn, cfg)
 	if r.spec.MaxGraphsPerClient > 0 {
 		nd.SetMaxGraphsPerClient(r.spec.MaxGraphsPerClient)
 	}
@@ -490,8 +520,9 @@ func (r *scenarioRun) evaluate() ScenarioOutcome {
 	// node's counters are frozen mid-flight by design (Fail models a
 	// crash, not a shutdown), so only survivors owe clean teardown.
 	leakSubs, leakGraphs, leakSlots, liveCount := 0, 0, 0, 0
-	leakSubtrees, leakAttach, leakClients := 0, 0, 0
+	leakSubtrees, leakAttach, leakClients, leakPending := 0, 0, 0, 0
 	var malformed, quotaRejects uint64
+	var sendRetries, sendExhausted, treeRepairs, treeReinjects, treeRejoins uint64
 	clientRejects := map[string]uint64{}
 	for _, a := range r.liveQP() {
 		st := r.addrToQP[a].Stats()
@@ -502,15 +533,23 @@ func (r *scenarioRun) evaluate() ScenarioOutcome {
 		leakSubtrees += st.SharedSubtrees
 		leakAttach += st.SubtreeAttachments
 		leakClients += st.TrackedClients
+		leakPending += st.PendingSends
 		malformed += st.MalformedDrops
 		quotaRejects += st.ClientQuotaRejects
+		sendRetries += st.SendRetries
+		sendExhausted += st.SendExhausted
+		treeRepairs += st.TreeRepairs
+		treeReinjects += st.TreeReinjects
+		treeRejoins += st.TreeRejoins
 		for c, k := range st.ClientRejects {
 			clientRejects[c] += k
 		}
 	}
 	events, msgs, _ := r.env.Stats()
-	fmt.Fprintf(&b, "cluster after teardown: live-nodes=%d malformed-drops=%d leaked-subscriptions=%d leaked-graphs=%d leaked-wheel-slots=%d leaked-subtrees=%d leaked-attachments=%d leaked-clients=%d\n",
-		liveCount, malformed, leakSubs, leakGraphs, leakSlots, leakSubtrees, leakAttach, leakClients)
+	fmt.Fprintf(&b, "cluster after teardown: live-nodes=%d malformed-drops=%d leaked-subscriptions=%d leaked-graphs=%d leaked-wheel-slots=%d leaked-subtrees=%d leaked-attachments=%d leaked-clients=%d leaked-pending-sends=%d\n",
+		liveCount, malformed, leakSubs, leakGraphs, leakSlots, leakSubtrees, leakAttach, leakClients, leakPending)
+	fmt.Fprintf(&b, "reliability: send-retries=%d send-exhausted=%d tree-repairs=%d tree-reinjects=%d tree-rejoins=%d\n",
+		sendRetries, sendExhausted, treeRepairs, treeReinjects, treeRejoins)
 	if len(clientRejects) > 0 {
 		cs := make([]string, 0, len(clientRejects))
 		for c := range clientRejects {
@@ -562,6 +601,27 @@ func (r *scenarioRun) evaluate() ScenarioOutcome {
 		check(fmt.Sprintf("lookup-completeness >= %.2f", *a.LookupCompleteness),
 			got >= *a.LookupCompleteness, fmt.Sprintf("%d/%d = %.2f", lookHits, len(r.lookups), got))
 	}
+	if a.MinCompleteness != nil {
+		// Per-query dissemination completeness over the continuous-agg
+		// queries whose tallies are final (Done): contributing executors
+		// over admitting executors. Every surviving query must clear the
+		// bar; a run where no query's tally finalized is a failure too.
+		minC, measured := 1.0, 0
+		for _, rs := range r.aggSets {
+			if c, ok := rs.Completeness(); ok {
+				measured++
+				if c < minC {
+					minC = c
+				}
+			}
+		}
+		detail := "no query finalized a completeness tally"
+		if measured > 0 {
+			detail = fmt.Sprintf("min=%.3f over %d queries", minC, measured)
+		}
+		check(fmt.Sprintf("min-completeness >= %.2f", *a.MinCompleteness),
+			measured > 0 && minC >= *a.MinCompleteness, detail)
+	}
 	if a.P99LatencyMax != nil {
 		d, ok := r.lookRec.Percentile(99)
 		detail := "p99=miss"
@@ -579,9 +639,9 @@ func (r *scenarioRun) evaluate() ScenarioOutcome {
 	}
 	if a.NoLeaks {
 		check("no-leaks", leakSubs == 0 && leakGraphs == 0 && leakSlots == 0 &&
-			leakSubtrees == 0 && leakAttach == 0 && leakClients == 0,
-			fmt.Sprintf("subscriptions=%d graphs=%d wheel-slots=%d subtrees=%d attachments=%d clients=%d",
-				leakSubs, leakGraphs, leakSlots, leakSubtrees, leakAttach, leakClients))
+			leakSubtrees == 0 && leakAttach == 0 && leakClients == 0 && leakPending == 0,
+			fmt.Sprintf("subscriptions=%d graphs=%d wheel-slots=%d subtrees=%d attachments=%d clients=%d pending-sends=%d",
+				leakSubs, leakGraphs, leakSlots, leakSubtrees, leakAttach, leakClients, leakPending))
 	}
 	if passed {
 		fmt.Fprintf(&b, "RESULT: PASS\n")

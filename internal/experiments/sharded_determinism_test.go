@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -277,5 +278,80 @@ func TestScenarioShardedMatchesSequentialWithLoss(t *testing.T) {
 	}
 	if !strings.Contains(seq.Report, "loss-rate=0.050") {
 		t.Fatalf("report does not show the loss rate:\n%s", seq.Report)
+	}
+}
+
+// TestRetryDeterminismUnderHeavyLoss is the sharded-determinism net for
+// the query plane's retry machinery: at LossRate 0.2 a meaningful
+// fraction of result sends, admit acks, and tree forwards nack and
+// re-enter the backoff path, whose jitter draws come from each node's
+// OWN rng. The report — including the reliability counters themselves —
+// must stay byte-identical between the sequential and eight-worker
+// schedulers, proving no retry timer or jitter draw depends on which
+// shard observed the nack.
+func TestRetryDeterminismUnderHeavyLoss(t *testing.T) {
+	spec, err := ParseScenario(`
+name: retry-loss
+seed: 23
+nodes: 8
+duration: 30s
+teardown: 12s
+network:
+  loss-rate: 0.2
+workload:
+  - kind: continuous-agg
+    queries: 4
+    flush-every: 4s
+    events-per-node: 10
+    sources: 16
+assert:
+  min-result-rows: 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := RunScenario(spec, 0)
+	par := RunScenario(spec, 8)
+	if seq.Report != par.Report {
+		t.Fatalf("retry schedules diverged under loss:\nseq:\n%s\npar:\n%s", seq.Report, par.Report)
+	}
+	if !seq.Passed {
+		t.Fatalf("degenerate run, scenario failed:\n%s", seq.Report)
+	}
+	// The run must actually have exercised the retry path: at 20% loss
+	// a zero retry count means the counters are disconnected.
+	if strings.Contains(seq.Report, "send-retries=0 ") {
+		t.Fatalf("no retries recorded at LossRate 0.2:\n%s", seq.Report)
+	}
+}
+
+// TestTreeRepairScenarioShardedMatchesSequential runs the checked-in
+// tree-repair scenario — redundant trees, interior kills, respawns,
+// completeness assertions — from its YAML source, so the CI smoke lane
+// and this determinism diff exercise the same spec. The report must be
+// bit-identical between schedulers and must show the nack-repair
+// counters firing.
+func TestTreeRepairScenarioShardedMatchesSequential(t *testing.T) {
+	src, err := os.ReadFile("../../scenarios/tree-repair.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseScenario(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := RunScenario(spec, 0)
+	par := RunScenario(spec, 8)
+	if seq.Report != par.Report {
+		t.Fatalf("tree-repair report diverged:\nseq:\n%s\npar:\n%s", seq.Report, par.Report)
+	}
+	if !seq.Passed {
+		t.Fatalf("tree-repair scenario failed:\n%s", seq.Report)
+	}
+	if strings.Contains(seq.Report, "tree-repairs=0 ") {
+		t.Fatalf("kill did not drive nack repair:\n%s", seq.Report)
+	}
+	if !strings.Contains(seq.Report, "assert min-completeness >= 0.90: PASS") {
+		t.Fatalf("completeness assertion missing or failing:\n%s", seq.Report)
 	}
 }

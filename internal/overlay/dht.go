@@ -204,14 +204,35 @@ func (d *DHT) PutLocal(namespace, key, suffix string, data []byte, lifetime time
 // Figure 6). Compared to put it uses fewer messages, but each message
 // carries the object.
 func (d *DHT) Send(namespace, key, suffix string, data []byte, lifetime time.Duration) {
+	d.SendTracked(namespace, key, suffix, data, lifetime, nil, nil)
+}
+
+// SendTracked is Send with origin-side delivery tracking. ack, if
+// non-nil, reports whether the message was delivered locally or
+// confirmed onto its first hop: a false means this node abandoned it
+// (hop budget exhausted, or every forwarding candidate nacked) and the
+// payload was lost — the caller's cue to retry. hop, if non-nil,
+// receives the confirmed first hop's address; for namespaces routed as
+// dissemination trees that hop is the sender's tree parent. Both run on
+// this node's event loop, and both fire at most once.
+func (d *DHT) SendTracked(namespace, key, suffix string, data []byte, lifetime time.Duration, ack vri.AckFunc, hop func(vri.Addr)) {
 	m := &routedMsg{
 		target: HashName(namespace, key),
 		origin: d.rt.Addr(),
 		hops:   uint8(d.router.cfg.MaxHops),
 		inner:  riSend,
 		obj:    Object{Namespace: namespace, Key: key, Suffix: suffix, Data: data, Lifetime: lifetime},
+		done:   ack,
+		hop:    hop,
 	}
 	d.router.route(m)
+}
+
+// OnPeerDropped registers fn to run whenever the router evicts a peer it
+// believes dead (transport nack or probe timeout). The query plane uses
+// this to re-join distribution trees without waiting for a refresh tick.
+func (d *DHT) OnPeerDropped(fn func(vri.Addr)) {
+	d.router.onDrop = fn
 }
 
 // Get fetches all objects stored under (namespace, key) (Table 2: get):

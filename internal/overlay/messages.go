@@ -69,6 +69,26 @@ type routedMsg struct {
 
 	// riLookup payload.
 	reqID uint64
+
+	// done and hop are origin-local tracking, set only on messages this
+	// node itself originated; they are never serialized, so decoded
+	// copies at later hops carry nil. done(true) means the message was
+	// delivered locally or confirmed onto its first hop; done(false)
+	// means this node abandoned it (hop budget exhausted, or every
+	// forwarding candidate nacked) and the payload is lost. hop reports
+	// the confirmed first hop's address — for tree-structured namespaces
+	// that is the sender's parent in the dissemination tree.
+	done vri.AckFunc
+	hop  func(vri.Addr)
+}
+
+// settle fires the origin's delivery callback exactly once.
+func (m *routedMsg) settle(ok bool) {
+	if m.done != nil {
+		done := m.done
+		m.done = nil
+		done(ok)
+	}
 }
 
 // Object is one soft-state item in the DHT: named by namespace,

@@ -82,6 +82,9 @@ type router struct {
 	// (including at the owner, §3.2.2); returning false drops the
 	// message.
 	upcall func(*routedMsg) bool
+	// onDrop, if set, is invoked after dropPeer evicts a peer this node
+	// decided is dead (transport nack or probe timeout).
+	onDrop func(vri.Addr)
 
 	reqSeq  uint64
 	pending map[uint64]*pendingReq
@@ -267,10 +270,12 @@ func (r *router) route(m *routedMsg) {
 	// Deliver if the previous hop already determined us the owner, if
 	// our own predecessor arc covers the target, or if we are alone.
 	if m.final || r.isOwner(m.target) || succ.addr == r.self.addr {
+		m.settle(true)
 		r.deliver(m)
 		return
 	}
 	if m.hops == 0 {
+		m.settle(false)
 		return // routing loop or pathological churn; drop
 	}
 	m.hops--
@@ -294,16 +299,22 @@ func (r *router) route(m *routedMsg) {
 // the transport reports the hop dead.
 func (r *router) forward(m *routedMsg, next nodeRef, attempt int) {
 	if next.addr == r.self.addr {
+		m.settle(true)
 		r.deliver(m)
 		return
 	}
 	r.hopCount++
 	r.sendTo(next.addr, encodeRouted(r.scratch, m), func(ok bool) {
 		if ok {
+			if m.hop != nil {
+				m.hop(next.addr)
+			}
+			m.settle(true)
 			return
 		}
 		r.dropPeer(next.addr)
 		if attempt+1 >= len(r.succs)+1 {
+			m.settle(false)
 			return // out of candidates; message lost (soft state recovers)
 		}
 		alt := r.closestPreceding(m.target)
@@ -311,6 +322,7 @@ func (r *router) forward(m *routedMsg, next nodeRef, attempt int) {
 			alt = r.successor()
 		}
 		if alt.addr == next.addr {
+			m.settle(false)
 			return
 		}
 		r.forward(m, alt, attempt+1)
@@ -513,6 +525,9 @@ func (r *router) fingerSample(max int) []vri.Addr {
 
 // dropPeer removes a dead node from all routing state.
 func (r *router) dropPeer(addr vri.Addr) {
+	if addr == "" || addr == r.self.addr {
+		return
+	}
 	if r.pred.addr == addr {
 		r.pred = nodeRef{}
 	}
@@ -530,6 +545,12 @@ func (r *router) dropPeer(addr vri.Addr) {
 		if f.addr == addr {
 			r.fingers[i] = nodeRef{}
 		}
+	}
+	// Tell the layer above: a peer believed dead is exactly the signal
+	// a dissemination-tree child needs to re-join promptly instead of
+	// waiting out its refresh period.
+	if r.onDrop != nil {
+		r.onDrop(addr)
 	}
 }
 

@@ -1,0 +1,124 @@
+package qp
+
+import (
+	"time"
+
+	"pier/internal/tuple"
+	"pier/internal/vri"
+)
+
+// Shared ack-driven retry policy for the query plane's reliable send
+// paths: result forwarding (node.go), hierarchical-agg partials and
+// rehash puts (netops.go), and distribution-tree repair (tree.go).
+//
+// The runtime transport is reliable-or-notified: every Send with a
+// non-nil ack either reaches a live destination or reports ack(false).
+// This file turns those nacks into bounded, counted retries. Two rules
+// keep the sharded-determinism contract intact:
+//
+//   - jitter comes from the NODE's rng (vri.Runtime.Rand), never from
+//     driver or environment randomness — acks and retry timers run as
+//     the sender's own events, so the draws stay in per-node streams
+//     and workers=0 and workers=K produce identical retry schedules;
+//   - every retry and every exhaustion increments a NodeStats counter
+//     (SendRetries/SendExhausted), so silent loss is impossible by
+//     construction.
+
+const (
+	// sendRetryLimit is how many times a nacked send is retried after
+	// its first transmission; past it the payload is abandoned and
+	// counted in NodeStats.SendExhausted. Queries stay best-effort by
+	// design (§3.3.2) — the bound keeps a dead proxy from pinning
+	// retry timers forever, and completeness accounting quantifies
+	// whatever loss remains.
+	sendRetryLimit = 3
+	// sendBackoffBase is the first retry delay; retry k (0-based) waits
+	// sendBackoffBase<<k plus jitter in [0, sendBackoffBase).
+	sendBackoffBase = 250 * time.Millisecond
+)
+
+// retryDelay returns the backoff before retry number attempt (0-based):
+// exponential in the attempt, with one jitter draw from the node's rng.
+func (n *Node) retryDelay(attempt int) time.Duration {
+	return sendBackoffBase<<uint(attempt) +
+		time.Duration(n.rt.Rand().Int63n(int64(sendBackoffBase)))
+}
+
+// resultRetry is the in-flight state of one ack-tracked result send.
+// States are pooled per node and their callback funcs are bound once at
+// allocation, so the happy path (ack true) costs zero allocations per
+// result once the pool has grown to the node's in-flight peak — the
+// retry machinery allocates only on actual nack-driven pool growth,
+// never per event.
+type resultRetry struct {
+	n       *Node
+	rq      *runningQuery
+	t       *tuple.Tuple
+	attempt int
+	ack     vri.AckFunc // pre-bound onAck, reused across attempts
+	resend  func()      // pre-bound retransmit closure for Schedule
+}
+
+// newResultSend acquires retry state for one result tuple about to be
+// sent to rq's proxy. The caller passes rr.ack to Send.
+func (n *Node) newResultSend(rq *runningQuery, t *tuple.Tuple) *resultRetry {
+	var rr *resultRetry
+	if k := len(n.retryPool); k > 0 {
+		rr = n.retryPool[k-1]
+		n.retryPool = n.retryPool[:k-1]
+	} else {
+		rr = &resultRetry{n: n}
+		rr.ack = rr.onAck
+		rr.resend = rr.retransmit
+	}
+	rr.rq, rr.t, rr.attempt = rq, t, 0
+	n.pendingSends++
+	return rr
+}
+
+// release returns the state to the pool. The tuple and query references
+// are cleared so pooled entries do not pin finished queries' memory.
+func (rr *resultRetry) release() {
+	n := rr.n
+	rr.rq, rr.t = nil, nil
+	n.pendingSends--
+	n.retryPool = append(n.retryPool, rr)
+}
+
+// onAck consumes the transport's delivery report for the last attempt.
+func (rr *resultRetry) onAck(ok bool) {
+	n := rr.n
+	if ok {
+		rr.release()
+		return
+	}
+	// The query may have finished (proxy done, local teardown) while
+	// the nack was in flight; retrying a result nobody is waiting for
+	// only adds traffic.
+	if n.running[rr.rq.id] != rr.rq {
+		rr.release()
+		return
+	}
+	if rr.attempt >= sendRetryLimit {
+		n.sendExhausted++
+		rr.release()
+		return
+	}
+	n.sendRetries++
+	delay := n.retryDelay(rr.attempt)
+	rr.attempt++
+	n.rt.Schedule(delay, rr.resend)
+}
+
+// retransmit re-encodes the retained tuple and sends it again. The
+// node's scratch writer is safe here: the timer callback runs as a node
+// event and Send consumes the bytes synchronously.
+func (rr *resultRetry) retransmit() {
+	n := rr.n
+	if n.running[rr.rq.id] != rr.rq {
+		rr.release()
+		return
+	}
+	n.rt.Send(rr.rq.proxy, vri.PortQuery,
+		encodeResult(n.scratch, rr.rq.id, n.rt.Addr(), rr.t), rr.ack)
+}

@@ -33,7 +33,7 @@ func (n *Node) Checkpoint(w *wire.Writer) error {
 	if err := n.dht.Checkpoint(w); err != nil {
 		return err
 	}
-	n.tree.snapshot(w, n.rt.Now())
+	n.trees.snapshot(w, n.rt.Now())
 	return nil
 }
 
@@ -50,7 +50,7 @@ func (n *Node) Restore(r *wire.Reader) error {
 	if err := n.dht.Restore(r); err != nil {
 		return err
 	}
-	if err := n.tree.restore(r, n.rt.Now()); err != nil {
+	if err := n.trees.restore(r, n.rt.Now()); err != nil {
 		return fmt.Errorf("qp: restore tree: %w", err)
 	}
 	return nil

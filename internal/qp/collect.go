@@ -24,6 +24,11 @@ type ResultSet struct {
 	firstAt time.Time
 	done    bool
 	rejects int
+	// Completeness tallies, copied from the proxy state when the
+	// done-grace timer fires: executor nodes that acked admission, and
+	// distinct executor nodes that delivered at least one result row.
+	admitted    int
+	contributed int
 }
 
 // SubmitCollect runs a query with this node as the proxy, collecting
@@ -49,8 +54,34 @@ func (n *Node) SubmitCollect(q *ufl.Query, clientID string) (*ResultSet, error) 
 	// attribute admission-control shedding to individual queries.
 	if ps := n.proxied[q.ID]; ps != nil {
 		ps.onReject = func() { rs.rejects++ }
+		ps.onFinal = func(admitted, contributed int) {
+			rs.admitted, rs.contributed = admitted, contributed
+		}
 	}
 	return rs, nil
+}
+
+// Completeness returns the fraction of admitting executor nodes that
+// contributed at least one result row — the paper's best-effort answers
+// made quantitative: 1.0 means every node that accepted the query was
+// heard from; lower means failures (or retry exhaustion) silenced part
+// of the answer. The second return is false until the query is Done
+// (the tallies are final only after the done-grace period) or when no
+// node acked admission. A contributor implies an admission, so the
+// denominator uses whichever tally is larger — a lost admit ack can
+// never push the ratio above 1. Only meaningful for broadcast queries
+// where every admitting node is expected to report (continuous
+// aggregations); an equality lookup with no matching rows legitimately
+// reports 0. Driver context only.
+func (rs *ResultSet) Completeness() (float64, bool) {
+	denom := rs.admitted
+	if rs.contributed > denom {
+		denom = rs.contributed
+	}
+	if !rs.done || denom == 0 {
+		return 0, false
+	}
+	return float64(rs.contributed) / float64(denom), true
 }
 
 // Rejects returns how many admission-control refusal acks the proxy

@@ -186,15 +186,23 @@ func (p *putOp) ship(key string, data []byte) {
 	p.putWithRetry(key, data, lifetime, 0)
 }
 
-// putWithRetry re-issues a failed put a few times: lookups time out
-// under routing churn and a lost partial silently corrupts downstream
-// aggregates, so the exchange retries like any soft-state publisher.
+// putWithRetry re-issues a failed put on the shared backoff policy
+// (backoff.go): lookups time out under routing churn and a lost partial
+// silently corrupts downstream aggregates, so the exchange retries like
+// any soft-state publisher — bounded, jittered from the node's rng, and
+// counted in NodeStats so exhaustion is visible.
 func (p *putOp) putWithRetry(key string, data []byte, lifetime time.Duration, attempt int) {
-	p.lg.n.dht.Put(p.ns, key, p.lg.n.uniquifier(), data, lifetime, func(ok bool) {
-		if ok || attempt >= 3 || p.lg.closed {
+	n := p.lg.n
+	n.dht.Put(p.ns, key, n.uniquifier(), data, lifetime, func(ok bool) {
+		if ok || p.lg.closed {
 			return
 		}
-		p.lg.n.rt.Schedule(500*time.Millisecond, func() {
+		if attempt >= sendRetryLimit {
+			n.sendExhausted++
+			return
+		}
+		n.sendRetries++
+		n.rt.Schedule(n.retryDelay(attempt), func() {
 			if !p.lg.closed {
 				p.putWithRetry(key, data, lifetime, attempt+1)
 			}
@@ -496,8 +504,35 @@ func (h *hierAggOp) forward() {
 		return
 	}
 	h.Forwarded++
-	h.lg.n.dht.Send(h.ns, h.rootKey, h.lg.n.uniquifier(), h.pending.Encode(), h.lg.rq.timeout)
+	h.sendPartial(h.pending.Encode(), 0)
 	h.pending = exec.NewGroupSet(h.keys, h.aggs)
+}
+
+// sendPartial ships one encoded partial toward the root with ack-driven
+// retry on the shared backoff policy (backoff.go): a partial the overlay
+// abandons silently understates the final aggregate, and the retry's
+// fresh route benefits from the ring repair the nack itself triggered.
+// Encode already allocated the payload, so retaining it across retries
+// costs nothing extra; the closures are per forwarded partial (flush
+// cadence), never per event.
+func (h *hierAggOp) sendPartial(data []byte, attempt int) {
+	n := h.lg.n
+	n.dht.SendTracked(h.ns, h.rootKey, n.uniquifier(), data, h.lg.rq.timeout,
+		func(ok bool) {
+			if ok || h.closed {
+				return
+			}
+			if attempt >= sendRetryLimit {
+				n.sendExhausted++
+				return
+			}
+			n.sendRetries++
+			n.rt.Schedule(n.retryDelay(attempt), func() {
+				if !h.closed {
+					h.sendPartial(data, attempt+1)
+				}
+			})
+		}, nil)
 }
 
 // Flush: at the root, emit the final aggregate downstream; elsewhere,

@@ -23,6 +23,7 @@ package qp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pier/internal/exec"
@@ -46,6 +47,15 @@ type Config struct {
 	// TreeChildTTL is how long a recorded child survives without
 	// refresh. Default 3×TreeRefresh.
 	TreeChildTTL time.Duration
+	// NumTrees is how many redundant distribution trees to maintain,
+	// the paper's §3.3.3 reliability knob: each tree gets a distinct
+	// root key (TreeRootKey, TreeRootKey#1, …) and therefore a distinct
+	// shape, and every broadcast travels once per tree under one shared
+	// execution id, so a failure that severs one tree's subtree is
+	// covered by the others. Deliveries are deduped by the node-level
+	// seen set; execution cost is unchanged, dissemination traffic
+	// scales with NumTrees. Default 1; values above 8 are clamped.
+	NumTrees int
 	// DoneGrace is how long after a query's timeout the proxy waits for
 	// straggler results before reporting completion. Default 2s.
 	DoneGrace time.Duration
@@ -88,6 +98,12 @@ func (c *Config) fill() {
 	if c.TreeChildTTL <= 0 {
 		c.TreeChildTTL = 3 * c.TreeRefresh
 	}
+	if c.NumTrees <= 0 {
+		c.NumTrees = 1
+	}
+	if c.NumTrees > maxTrees {
+		c.NumTrees = maxTrees
+	}
 	if c.DoneGrace <= 0 {
 		c.DoneGrace = 2 * time.Second
 	}
@@ -103,7 +119,7 @@ type Node struct {
 	cfg Config
 	dht *overlay.DHT
 
-	tree *distTree
+	trees *distTrees
 
 	// running holds the opgraphs this node is currently executing, keyed
 	// by query id.
@@ -140,6 +156,18 @@ type Node struct {
 
 	limiter *rateLimiter
 
+	// retryPool recycles resultRetry states (backoff.go); pendingSends
+	// is the number currently in flight (awaiting an ack or a retry
+	// timer) — nonzero after teardown plus grace is a leak.
+	retryPool    []*resultRetry
+	pendingSends int
+
+	// admitBatch, when non-nil, redirects admit acks into a per-proxy
+	// collection instead of sending them one by one: the batch
+	// dissemination handler sets it around its accept loop so all
+	// admits for one frame ride one qmAdmit frame back.
+	admitBatch map[vri.Addr][]string
+
 	// tagCounter issues node-local dataflow tags (see instantiate).
 	tagCounter exec.Tag
 
@@ -164,6 +192,8 @@ type Node struct {
 	sharedFanout       uint64 // demux deliveries to per-query tails
 	chainFeeds         uint64 // bus deliveries into operator chains (bus.go)
 	clientQuotaRejects uint64 // refusals under MaxGraphsPerClient
+	sendRetries        uint64 // nack-driven retransmissions (backoff.go)
+	sendExhausted      uint64 // payloads abandoned after the retry budget
 	// scanMalformed counts stored objects dropped by catch-up LocalScans
 	// because their payload failed tuple decode (the newData-path twin
 	// lives in the overlay registry).
@@ -177,6 +207,10 @@ type runningQuery struct {
 	timeout time.Duration
 	graphs  []*liveGraph
 	timer   vri.Timer
+	// admitted records that this node already acked its admission of
+	// the query to the proxy — once per (query, node), however many of
+	// the query's opgraphs land here.
+	admitted bool
 }
 
 // proxyState is the proxy-side state of one submitted query.
@@ -190,6 +224,15 @@ type proxyState struct {
 	// this query, so callers can tell a partially-admitted query from a
 	// fully-running one.
 	onReject func()
+	// admits counts executor nodes that acked admission of at least one
+	// of the query's opgraphs; contributors are the distinct executor
+	// nodes that delivered at least one result row. Their ratio is the
+	// query's completeness (see ResultSet.Completeness).
+	admits       uint64
+	contributors map[vri.Addr]struct{}
+	// onFinal, if set, receives the completeness tallies when the
+	// done-grace timer fires, just before onDone.
+	onFinal func(admitted, contributed int)
 }
 
 // NewNode creates a PIER node bound to the runtime.
@@ -210,7 +253,7 @@ func NewNode(rt vri.Runtime, cfg Config) *Node {
 	n.bus = newTableBus(n)
 	n.wheel = newFlushWheel(n)
 	n.batchFn = n.flushDissemBatch
-	n.tree = newDistTree(n)
+	n.trees = newDistTrees(n)
 	return n
 }
 
@@ -240,7 +283,7 @@ func (n *Node) Start() error {
 		n.dht.Stop()
 		return err
 	}
-	n.tree.start()
+	n.trees.start()
 	n.started = true
 	return nil
 }
@@ -263,7 +306,7 @@ func (n *Node) Stop() {
 		n.batchTimer = nil
 		n.pendingBatch = nil
 	}
-	n.tree.stop()
+	n.trees.stop()
 	n.rt.Release(vri.PortQuery)
 	n.dht.Stop()
 	n.started = false
@@ -360,6 +403,33 @@ type NodeStats struct {
 	TrackedClients int
 	// FlushesShed counts wheel flushes deferred by MaxFlushesPerTick.
 	FlushesShed uint64
+	// SendRetries counts nack-driven retransmissions on the reliable
+	// send paths (result forwarding, hierarchical-agg partials, rehash
+	// puts, admit acks); SendExhausted counts payloads abandoned after
+	// the retry budget (backoff.go).
+	SendRetries   uint64
+	SendExhausted uint64
+	// PendingSends is the number of result sends currently holding
+	// retry state (awaiting a transport ack or a retry timer). Nonzero
+	// after teardown plus the ack/backoff grace is a leaked retry.
+	PendingSends int
+	// Trees is the number of redundant distribution trees this node
+	// maintains (Config.NumTrees).
+	Trees int
+	// TreeRepairs counts children dropped on a broadcast-forward nack;
+	// TreeReinjects counts broadcast payloads re-routed toward a root
+	// (after such a drop, or after the root itself nacked);
+	// TreeRejoins counts early re-announcements (parent evicted as
+	// dead, or an announce the overlay abandoned) as opposed to
+	// periodic refreshes.
+	TreeRepairs   uint64
+	TreeReinjects uint64
+	TreeRejoins   uint64
+	// TreeSeenEntries is the broadcast-dedup population across this
+	// node's trees (forwarding + execution ids). Entries expire on the
+	// refresh tick; growth proportional to all-time query count here
+	// was the tree's memory leak.
+	TreeSeenEntries int
 }
 
 // Stats returns the node's query-runtime counters.
@@ -402,8 +472,21 @@ func (n *Node) Stats() NodeStats {
 		ClientRejects:       clientRejects,
 		TrackedClients:      len(n.clientLive),
 		FlushesShed:         n.wheel.shed,
+		SendRetries:         n.sendRetries,
+		SendExhausted:       n.sendExhausted,
+		PendingSends:        n.pendingSends,
+		Trees:               len(n.trees.trees),
+		TreeRepairs:         n.trees.repairs,
+		TreeReinjects:       n.trees.reinjects,
+		TreeRejoins:         n.trees.rejoins,
+		TreeSeenEntries:     len(n.trees.seenExec) + len(n.trees.seenFwd),
 	}
 }
+
+// TreeChildren returns the number of live distribution-tree children
+// recorded at this node across all its trees — an interior-node measure.
+// Driver context or this node's own events only.
+func (n *Node) TreeChildren() int { return n.trees.childCount() }
 
 // uniquifier draws a random tuple suffix (§3.2.1: suffixes are chosen at
 // random to minimize spurious name collisions).
@@ -453,6 +536,9 @@ func (n *Node) Submit(q *ufl.Query, clientID string, onResult func(*tuple.Tuple)
 	n.proxied[q.ID] = ps
 	ps.timer = n.rt.Schedule(q.Timeout+n.cfg.DoneGrace, func() {
 		delete(n.proxied, q.ID)
+		if ps.onFinal != nil {
+			ps.onFinal(int(ps.admits), len(ps.contributors))
+		}
 		if ps.onDone != nil {
 			ps.onDone()
 		}
@@ -551,7 +637,7 @@ func (n *Node) flushDissemBatch() {
 		w.Bytes32(body)
 		n.batchFrames++
 		n.batchedGraphs += uint64(len(entries))
-		n.tree.broadcast(w.Bytes())
+		n.trees.broadcast(w.Bytes())
 	}
 }
 
@@ -601,7 +687,69 @@ func (n *Node) acceptGraph(queryID string, deadline time.Time, proxy vri.Addr, c
 	n.graphsExecuted++
 	n.liveGraphs++
 	n.sigCounts[lg.sig]++
+	// First admitted opgraph of the query at this node: ack the
+	// admission so the proxy can count its completeness denominator.
+	if !rq.admitted {
+		rq.admitted = true
+		n.ackAdmit(queryID, proxy)
+	}
 	lg.open()
+}
+
+// ackAdmit reports to the proxy that this node admitted (at least one
+// opgraph of) the query — one ack per (query, node), the denominator of
+// the proxy's completeness ratio. Inside a batch-dissemination frame the
+// acks are collected and ride one qmAdmit frame per proxy; elsewhere
+// they ship immediately. The send retries on nack: a silently lost
+// admit would skew every completeness ratio the proxy reports.
+func (n *Node) ackAdmit(queryID string, proxy vri.Addr) {
+	if n.admitBatch != nil {
+		n.admitBatch[proxy] = append(n.admitBatch[proxy], queryID)
+		return
+	}
+	n.sendAdmits(proxy, []string{queryID})
+}
+
+// sendAdmits ships one qmAdmit frame carrying ids to proxy, with
+// loopback delivery for self-proxied queries (the ack still arrives as
+// an event, like the network one — see rejectGraph). The retry closure
+// allocates per admit frame, which is per query per node, never on the
+// per-event hot path.
+func (n *Node) sendAdmits(proxy vri.Addr, ids []string) {
+	if proxy == n.rt.Addr() {
+		n.rt.Schedule(0, func() {
+			for _, id := range ids {
+				n.deliverAdmit(id)
+			}
+		})
+		return
+	}
+	var try func(attempt int)
+	try = func(attempt int) {
+		w := n.scratch
+		w.Reset()
+		w.U8(qmAdmit)
+		ufl.EncodeAdmitsTo(w, ids)
+		n.rt.Send(proxy, vri.PortQuery, w.Bytes(), func(ok bool) {
+			if ok {
+				return
+			}
+			if attempt >= sendRetryLimit {
+				n.sendExhausted++
+				return
+			}
+			n.sendRetries++
+			n.rt.Schedule(n.retryDelay(attempt), func() { try(attempt + 1) })
+		})
+	}
+	try(0)
+}
+
+// deliverAdmit records one executor node's admission ack at the proxy.
+func (n *Node) deliverAdmit(queryID string) {
+	if ps := n.proxied[queryID]; ps != nil {
+		ps.admits++
+	}
 }
 
 // rejectGraph refuses an opgraph delivery under admission control and
@@ -654,28 +802,46 @@ func (n *Node) finishQuery(rq *runningQuery) {
 }
 
 // forwardResult delivers one result tuple to the query's proxy node, or
-// directly to the client callback when this node is the proxy.
+// directly to the client callback when this node is the proxy. The
+// network path is ack-tracked: a nacked send retries on the shared
+// backoff policy (backoff.go) instead of silently losing the row.
 func (n *Node) forwardResult(rq *runningQuery, t *tuple.Tuple) {
 	n.resultsSent++
 	if rq.proxy == n.rt.Addr() {
-		n.deliverResult(rq.id, t)
+		n.deliverResult(rq.id, n.rt.Addr(), t)
 		return
 	}
-	w := n.scratch
-	w.Reset()
-	w.U8(qmResult)
-	w.String(rq.id)
-	t.EncodeTo(w)
-	n.rt.Send(rq.proxy, vri.PortQuery, w.Bytes(), nil)
+	rr := n.newResultSend(rq, t)
+	n.rt.Send(rq.proxy, vri.PortQuery,
+		encodeResult(n.scratch, rq.id, n.rt.Addr(), t), rr.ack)
 }
 
-// deliverResult hands a tuple to the local client callback.
-func (n *Node) deliverResult(queryID string, t *tuple.Tuple) {
+// encodeResult frames one result tuple with its query id and origin —
+// the executor node it came from, which the proxy counts as a
+// completeness contributor.
+func encodeResult(w *wire.Writer, queryID string, origin vri.Addr, t *tuple.Tuple) []byte {
+	w.Reset()
+	w.U8(qmResult)
+	w.String(queryID)
+	w.String(string(origin))
+	t.EncodeTo(w)
+	return w.Bytes()
+}
+
+// deliverResult hands a tuple to the local client callback, recording
+// origin as a contributing node.
+func (n *Node) deliverResult(queryID string, origin vri.Addr, t *tuple.Tuple) {
 	ps := n.proxied[queryID]
 	if ps == nil {
 		return // query finished or unknown; drop
 	}
 	ps.results++
+	if origin != "" {
+		if ps.contributors == nil {
+			ps.contributors = make(map[vri.Addr]struct{})
+		}
+		ps.contributors[origin] = struct{}{}
+	}
 	if ps.onResult != nil {
 		ps.onResult(t)
 	}
@@ -691,6 +857,11 @@ const (
 	qmDisseminateBatch
 	// qmReject is the admission-control refusal ack, executor → proxy.
 	qmReject
+	// qmAdmit is the admission ack, executor → proxy: a list of query
+	// ids this node admitted (one entry per query, however many
+	// opgraphs), the completeness denominator. Batch-disseminated
+	// queries share one frame per (executor, proxy) pair.
+	qmAdmit
 )
 
 func encodeDisseminate(queryID string, deadline time.Time, proxy vri.Addr, client string, g ufl.Opgraph) []byte {
@@ -728,9 +899,25 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 		if r.Err() != nil || err != nil {
 			return
 		}
+		// Collect this frame's admit acks so they ride one qmAdmit frame
+		// per proxy back — the batch-codec economy, in reverse.
+		n.admitBatch = make(map[vri.Addr][]string)
 		for i := range entries {
 			e := &entries[i]
 			n.acceptGraph(e.QueryID, e.Deadline, vri.Addr(e.Proxy), e.Client, e.Graph)
+		}
+		batch := n.admitBatch
+		n.admitBatch = nil
+		// Sorted proxy order: map iteration order must not decide the
+		// message sequence (sharded-determinism contract). In practice a
+		// frame has one proxy; the sort is for decoded-frame generality.
+		proxies := make([]vri.Addr, 0, len(batch))
+		for p := range batch {
+			proxies = append(proxies, p)
+		}
+		sort.Slice(proxies, func(i, j int) bool { return proxies[i] < proxies[j] })
+		for _, p := range proxies {
+			n.sendAdmits(p, batch[p])
 		}
 
 	case qmReject:
@@ -740,15 +927,25 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 		}
 		n.deliverReject(queryID)
 
+	case qmAdmit:
+		ids, err := ufl.DecodeAdmitsFrom(r)
+		if r.Err() != nil || err != nil {
+			return
+		}
+		for _, id := range ids {
+			n.deliverAdmit(id)
+		}
+
 	case qmResult:
 		queryID := r.String()
+		origin := vri.Addr(r.String())
 		t := tuple.DecodeFrom(r)
 		if r.Err() != nil {
 			return
 		}
-		n.deliverResult(queryID, t)
+		n.deliverResult(queryID, origin, t)
 
 	case qmTreeBroadcast:
-		n.tree.handleBroadcast(r)
+		n.trees.handleBroadcast(r)
 	}
 }

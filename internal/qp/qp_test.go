@@ -59,7 +59,7 @@ func TestDistributionTreeCoversAllNodes(t *testing.T) {
 	// table (its first hop toward the root recorded it, §3.3.3).
 	inTree := map[string]bool{}
 	for _, n := range nodes {
-		for addr := range n.tree.children {
+		for addr := range n.trees.trees[0].children {
 			inTree[string(addr)] = true
 		}
 	}

@@ -95,6 +95,45 @@ func DecodeBatch(b []byte) ([]BatchEntry, error) {
 	return entries, nil
 }
 
+// EncodeAdmitsTo appends an admission-ack list — the query ids one
+// executor node admitted out of a dissemination frame — to w. It is the
+// batch frame's return path: where EncodeBatch amortizes Q queries'
+// dissemination into one broadcast, this amortizes their admission acks
+// into one frame per (executor, proxy) pair. The list shares the batch
+// codec's version and u16-count limits; oversized lists panic like
+// EncodeBatch does, since a wrapped count would silently skew every
+// completeness denominator at the proxy.
+func EncodeAdmitsTo(w *wire.Writer, queryIDs []string) {
+	if len(queryIDs) > MaxBatchEntries {
+		panic(fmt.Sprintf("ufl: admit list of %d entries exceeds MaxBatchEntries (%d); split it", len(queryIDs), MaxBatchEntries))
+	}
+	w.U8(BatchCodecVersion)
+	w.U16(uint16(len(queryIDs)))
+	for _, id := range queryIDs {
+		w.String(id)
+	}
+}
+
+// DecodeAdmitsFrom parses an admission-ack list from r, rejecting other
+// codec versions.
+func DecodeAdmitsFrom(r *wire.Reader) ([]string, error) {
+	if v := r.U8(); v != BatchCodecVersion {
+		return nil, fmt.Errorf("ufl: admit frame version %d, want %d", v, BatchCodecVersion)
+	}
+	n := int(r.U16())
+	ids := make([]string, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		ids = append(ids, r.String())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("ufl: admit frame truncated: %d of %d entries", len(ids), n)
+	}
+	return ids, nil
+}
+
 // Signature returns a structural fingerprint of the opgraph: an FNV-1a
 // hash over its shape with instance-specific identifiers normalized away.
 // Two opgraphs from different queries that run the same dataflow — same
