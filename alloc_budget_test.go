@@ -195,3 +195,69 @@ func TestSharedSubtreeAllocBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestAggBatchAllocBudget gates the column-at-a-time aggregation path
+// per tuple accumulated: it runs the BenchmarkGroupByColumnar body —
+// 8192 rows into a five-agg GroupBy, flushed as ONE columnar batch and
+// fanned through a Demux to Q tails — and fails if allocs divided by
+// rows exceed the checked-in budget. Two relative contracts ride along:
+// batch=1024 must allocate under half of the row-wise path per tuple
+// (the AddBatch/EmitBatch amortization claim), and tails=64 must stay
+// within 2x of tails=1 (the single-emission claim — the flushed window
+// is one shared read-only batch however many queries consume it, so
+// emission is O(groups + Q), never O(groups x Q)).
+func TestAggBatchAllocBudget(t *testing.T) {
+	if os.Getenv("PIER_ALLOC_BUDGET") == "" {
+		t.Skip("set PIER_ALLOC_BUDGET=1 to enforce the allocation budget")
+	}
+	raw, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatalf("reading budget file: %v", err)
+	}
+	var budget struct {
+		AggAllocsPerTuple map[string]float64 `json:"agg_allocs_per_tuple"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatalf("parsing alloc_budget.json: %v", err)
+	}
+	if len(budget.AggAllocsPerTuple) == 0 {
+		t.Fatal("alloc_budget.json carries no agg_allocs_per_tuple entries")
+	}
+	perTuple := map[string]float64{}
+	for _, cfg := range []struct {
+		size, tails int
+	}{{0, 1}, {1024, 1}, {1024, 16}, {1024, 64}} {
+		cfg := cfg
+		key := "rowwise"
+		if cfg.size > 0 {
+			key = fmt.Sprintf("batch=%d/tails=%d", cfg.size, cfg.tails)
+		}
+		limit, ok := budget.AggAllocsPerTuple[key]
+		if !ok {
+			t.Errorf("alloc_budget.json has no agg budget for %s", key)
+			continue
+		}
+		res := testing.Benchmark(func(b *testing.B) { runGroupByColumnar(b, cfg.size, cfg.tails) })
+		got := float64(res.AllocsPerOp()) / execBatchRows
+		perTuple[key] = got
+		t.Logf("%s: %.4f allocs/tuple (budget %.4f), %d allocs/op over %d rows",
+			key, got, limit, res.AllocsPerOp(), execBatchRows)
+		if got > limit {
+			t.Errorf("%s: %.4f allocs/tuple exceeds the checked-in budget of %.4f — per-tuple "+
+				"allocations crept into the aggregation batch path; if intentional, justify it and "+
+				"raise alloc_budget.json in the same change", key, got, limit)
+		}
+	}
+	if row, ok := perTuple["rowwise"]; ok {
+		if batch, ok := perTuple["batch=1024/tails=1"]; ok && batch > 0.5*row {
+			t.Errorf("batch=1024 allocates %.4f/tuple, more than 50%% of rowwise's %.4f — "+
+				"column-at-a-time accumulation lost its amortization advantage", batch, row)
+		}
+	}
+	if one, ok := perTuple["batch=1024/tails=1"]; ok {
+		if many, ok := perTuple["batch=1024/tails=64"]; ok && many > 2*one {
+			t.Errorf("tails=64 allocates %.4f/tuple, more than 2x tails=1's %.4f — emission is "+
+				"scaling with the consumer count instead of staying one shared batch", many, one)
+		}
+	}
+}

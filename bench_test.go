@@ -458,6 +458,91 @@ func runExecBatch(b *testing.B, batchSize int) {
 	}
 }
 
+// BenchmarkGroupByColumnar measures the column-at-a-time aggregation
+// path end to end: one op pushes the fixed 8192-row dataset into
+// GroupBy(count + int sum + float avg + float max + string min keyed by
+// src), flushes the window as ONE columnar batch, and fans that batch
+// through a Demux to Q attached tails — the shape of Q structurally
+// identical continuous aggregates sharing one chain. rowwise drives the
+// per-tuple Push/emit compatibility path; batch=N drives
+// AddBatch/EmitBatch. The tails axis isolates the emission contract:
+// the flushed window is encoded into ONE shared read-only batch however
+// many queries consume it, so cost scales O(groups + Q), not
+// O(groups x Q) — tails=64 must stay within noise of tails=1. Gated per
+// tuple by TestAggBatchAllocBudget against alloc_budget.json.
+func BenchmarkGroupByColumnar(b *testing.B) {
+	for _, size := range []int{0, 1024} {
+		for _, tails := range []int{1, 16, 64} {
+			size, tails := size, tails
+			name := "rowwise"
+			if size > 0 {
+				name = fmt.Sprintf("batch=%d", size)
+			}
+			b.Run(fmt.Sprintf("%s/tails=%d", name, tails), func(b *testing.B) {
+				runGroupByColumnar(b, size, tails)
+			})
+		}
+	}
+}
+
+// aggTail is a Demux tail that counts delivered rows without touching
+// them — the cheapest possible consumer, so the benchmark isolates the
+// aggregation and fan-out cost itself.
+type aggTail struct{ rows int }
+
+func (c *aggTail) Push(_ exec.Tag, _ *tuple.Tuple) { c.rows++ }
+
+func (c *aggTail) PushBatch(_ exec.Tag, b *tuple.Batch) { c.rows += b.Len() }
+
+// runGroupByColumnar is the body shared by BenchmarkGroupByColumnar and
+// the allocation gate (TestAggBatchAllocBudget). batchSize 0 is the
+// row-wise reference path.
+func runGroupByColumnar(b *testing.B, batchSize, tails int) {
+	b.ReportAllocs()
+	rows := buildExecBatchTuples()
+	var batches []*tuple.Batch
+	if batchSize > 0 {
+		batches = buildExecBatchBatches(rows, batchSize)
+	}
+	gb := exec.NewGroupBy([]string{"src"}, []exec.AggSpec{
+		{Kind: exec.AggCount, As: "cnt"},
+		{Kind: exec.AggSum, Col: "severity", As: "sevsum"},
+		{Kind: exec.AggAvg, Col: "score", As: "avgscore"},
+		{Kind: exec.AggMax, Col: "score", As: "maxscore"},
+		{Kind: exec.AggMin, Col: "src", As: "minsrc"},
+	})
+	demux := &exec.Demux{}
+	sinks := make([]*aggTail, tails)
+	for i := range sinks {
+		sinks[i] = &aggTail{}
+		demux.Attach(exec.Tag(1000+i), sinks[i])
+	}
+	gb.SetParent(demux)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := exec.Tag(i + 1) // fresh window per pass bounds group state
+		if batchSize == 0 {
+			for _, t := range rows {
+				gb.Push(tag, t)
+			}
+		} else {
+			for _, bt := range batches {
+				gb.PushBatch(tag, bt)
+			}
+		}
+		gb.Flush(tag)
+	}
+	b.StopTimer()
+	for i, s := range sinks {
+		if s.rows == 0 {
+			b.Fatalf("tail %d received no groups", i)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*execBatchRows/secs, "tuples/s")
+	}
+}
+
 // BenchmarkBloomFilter measures membership probes.
 func BenchmarkBloomFilter(b *testing.B) {
 	f := bloom.New(10_000, 0.01)

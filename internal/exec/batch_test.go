@@ -167,6 +167,81 @@ var diffGraphs = []struct {
 		g.SetParent(c)
 		return g, c
 	}},
+	// The column-at-a-time kernels: each entry pins one fold kernel (or
+	// its row-fallback trigger) against the row-path oracle.
+	{"groupby-sum-int-float", func() (Op, *collect) {
+		// Int and float sum columns side by side: the float kernel must
+		// reproduce the int→float promotion point exactly.
+		g := NewGroupBy([]string{"src"}, []AggSpec{
+			{Kind: AggSum, Col: "severity"},
+			{Kind: AggSum, Col: "score"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-minmax-kernels", func() (Op, *collect) {
+		// Int, float, and string min/max kernels over int-keyed groups.
+		g := NewGroupBy([]string{"severity"}, []AggSpec{
+			{Kind: AggMin, Col: "severity"},
+			{Kind: AggMax, Col: "score"},
+			{Kind: AggMin, Col: "src"},
+			{Kind: AggMax, Col: "src"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-avg", func() (Op, *collect) {
+		g := NewGroupBy([]string{"src"}, []AggSpec{
+			{Kind: AggAvg, Col: "severity"},
+			{Kind: AggAvg, Col: "score"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-mixed-agg-col", func() (Op, *collect) {
+		// The mixed column varies kind per batch, so most batches fall
+		// back to the row path mid-fold; min/max over it also trips the
+		// per-slot state-kind eligibility scan.
+		g := NewGroupBy([]string{"src"}, []AggSpec{
+			{Kind: AggSum, Col: "mixed"},
+			{Kind: AggMin, Col: "mixed"},
+			{Kind: AggAvg, Col: "mixed"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-mixed-key", func() (Op, *collect) {
+		// Kind-varying key column: group identity must match the row
+		// path's key encoding for every kind, including Null.
+		g := NewGroupBy([]string{"mixed"}, []AggSpec{{Kind: AggCount}, {Kind: AggSum, Col: "severity"}})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-multikey", func() (Op, *collect) {
+		g := NewGroupBy([]string{"src", "severity"}, []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggCountDistinct, Col: "mixed"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
+	{"groupby-global", func() (Op, *collect) {
+		// No keys: a single group accumulated across every batch.
+		g := NewGroupBy(nil, []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Col: "score"},
+			{Kind: AggMin, Col: "severity"},
+		})
+		c := &collect{}
+		g.SetParent(c)
+		return g, c
+	}},
 	{"chain", func() (Op, *collect) {
 		// Select → GroupBy, the shape of the continuous-agg workload.
 		s := NewSelect(expr.MustParse("severity > -5"))

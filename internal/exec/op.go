@@ -43,6 +43,14 @@
 //     untouched), projection and join construct fresh batches/tuples.
 //   - Scratch row views (Batch.RowInto) are valid only within the
 //     operator's own call frame and must never be emitted downstream.
+//   - EMITTED batches are covered too: a flush that materializes
+//     operator state into a fresh batch (GroupSet.EmitBatch) hands the
+//     SAME batch to however many consumers sit downstream — a Demux at
+//     the top of a shared chain fans it to every attached tail, and the
+//     query plane may retain it (and its encoded frame) across result
+//     retransmissions. The emitting operator must therefore never
+//     reuse or mutate the batch after pushing it; emission scratch is
+//     limited to the value slice consumed by AppendRow.
 package exec
 
 import (
@@ -142,6 +150,20 @@ func (d *Discarded) inc() { d.n++ }
 // Inc records one discarded tuple; exported for operators implemented
 // outside this package (the query processor's network operators).
 func (d *Discarded) Inc() { d.n++ }
+
+func (d *Discarded) add(k int) {
+	if k > 0 {
+		d.n += uint64(k)
+	}
+}
+
+// Add records k discarded tuples at once — the batch-path counterpart of
+// Inc, so operators discarding a whole batch do not loop per unit.
+func (d *Discarded) Add(k int) {
+	if k > 0 {
+		d.n += uint64(k)
+	}
+}
 
 // Count returns the number of tuples discarded so far.
 func (d *Discarded) Count() uint64 { return d.n }

@@ -486,9 +486,7 @@ func (d *DupElim) PushBatch(tag Tag, b *tuple.Batch) {
 			if !ok {
 				// Column absent from the uniform schema: every row is
 				// malformed for this key.
-				for r := 0; r < n; r++ {
-					d.Dropped.inc()
-				}
+				d.Dropped.add(n)
 				return
 			}
 			colIdx[i] = ci

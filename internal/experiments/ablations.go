@@ -226,9 +226,13 @@ func (c *HierAggConfig) fill() {
 // HierAggOutcome is one strategy's cost.
 type HierAggOutcome struct {
 	Strategy string
-	// RootMsgsIn is the message in-bandwidth of the aggregation point —
-	// the quantity hierarchical aggregation exists to reduce.
-	RootMsgsIn uint64
+	// RootMsgsIn/RootBytesIn are the in-bandwidth of the aggregation
+	// point — the quantity hierarchical aggregation exists to reduce.
+	// Bytes are the load-bearing measure: batched result shipping packs
+	// a whole window into one frame, so message counts no longer scale
+	// with group count on either strategy.
+	RootMsgsIn  uint64
+	RootBytesIn uint64
 	// Correct reports whether the produced counts match ground truth.
 	Correct bool
 }
@@ -238,9 +242,9 @@ type HierAggResult struct{ Outcomes []HierAggOutcome }
 
 // Render prints the comparison.
 func (r HierAggResult) Render() string {
-	out := fmt.Sprintf("%-14s %14s %9s\n", "strategy", "root msgs in", "correct")
+	out := fmt.Sprintf("%-14s %14s %14s %9s\n", "strategy", "root msgs in", "root bytes in", "correct")
 	for _, o := range r.Outcomes {
-		out += fmt.Sprintf("%-14s %14d %9v\n", o.Strategy, o.RootMsgsIn, o.Correct)
+		out += fmt.Sprintf("%-14s %14d %14d %9v\n", o.Strategy, o.RootMsgsIn, o.RootBytesIn, o.Correct)
 	}
 	return out
 }
@@ -321,9 +325,10 @@ opgraph g disseminate broadcast {
 			}
 		}
 		res.Outcomes = append(res.Outcomes, HierAggOutcome{
-			Strategy:   strategy,
-			RootMsgsIn: after.MsgsIn - before.MsgsIn,
-			Correct:    correct,
+			Strategy:    strategy,
+			RootMsgsIn:  after.MsgsIn - before.MsgsIn,
+			RootBytesIn: after.BytesIn - before.BytesIn,
+			Correct:     correct,
 		})
 	}
 	return res

@@ -137,7 +137,7 @@ func TestParseScenarioErrors(t *testing.T) {
 // TestCheckedInScenariosParse keeps the shipped scenario artifacts valid
 // as the spec evolves; the CI scenario-smoke lane actually runs them.
 func TestCheckedInScenariosParse(t *testing.T) {
-	for _, name := range []string{"partition-heal.yaml", "churn-burst.yaml"} {
+	for _, name := range []string{"partition-heal.yaml", "churn-burst.yaml", "qstorm-agg.yaml"} {
 		src, err := os.ReadFile(filepath.Join("..", "..", "scenarios", name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

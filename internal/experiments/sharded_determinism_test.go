@@ -355,3 +355,35 @@ func TestTreeRepairScenarioShardedMatchesSequential(t *testing.T) {
 		t.Fatalf("completeness assertion missing or failing:\n%s", seq.Report)
 	}
 }
+
+// TestQStormAggScenarioShardedMatchesSequential runs the checked-in
+// qstorm-agg scenario — 500 shared-shape continuous aggregations whose
+// window flushes travel the columnar EmitBatch → demux → batched-result
+// path, with a mid-run kill and respawn — from its YAML source, so the
+// CI smoke lane and this determinism diff exercise the same spec. The
+// batched result frames must not introduce worker-count-dependent
+// ordering: the report is bit-identical between schedulers.
+func TestQStormAggScenarioShardedMatchesSequential(t *testing.T) {
+	src, err := os.ReadFile("../../scenarios/qstorm-agg.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseScenario(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := RunScenario(spec, 0)
+	par := RunScenario(spec, 8)
+	if seq.Report != par.Report {
+		t.Fatalf("qstorm-agg report diverged:\nseq:\n%s\npar:\n%s", seq.Report, par.Report)
+	}
+	if !seq.Passed {
+		t.Fatalf("qstorm-agg scenario failed:\n%s", seq.Report)
+	}
+	if !strings.Contains(seq.Report, "assert recovered-rows >= 50: PASS") {
+		t.Fatalf("post-respawn recovery assertion missing or failing:\n%s", seq.Report)
+	}
+	if !strings.Contains(seq.Report, "assert no-leaks: PASS") {
+		t.Fatalf("leak assertion missing or failing:\n%s", seq.Report)
+	}
+}

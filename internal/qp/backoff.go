@@ -51,9 +51,14 @@ func (n *Node) retryDelay(attempt int) time.Duration {
 // retry machinery allocates only on actual nack-driven pool growth,
 // never per event.
 type resultRetry struct {
-	n       *Node
-	rq      *runningQuery
-	t       *tuple.Tuple
+	n  *Node
+	rq *runningQuery
+	t  *tuple.Tuple
+	// frame, when non-nil, is the encoded rows frame of a BATCHED result
+	// send (t is nil then): the bytes are retained as-is across retries,
+	// and rows records how many result rows they carry.
+	frame   []byte
+	rows    int
 	attempt int
 	ack     vri.AckFunc // pre-bound onAck, reused across attempts
 	resend  func()      // pre-bound retransmit closure for Schedule
@@ -62,25 +67,39 @@ type resultRetry struct {
 // newResultSend acquires retry state for one result tuple about to be
 // sent to rq's proxy. The caller passes rr.ack to Send.
 func (n *Node) newResultSend(rq *runningQuery, t *tuple.Tuple) *resultRetry {
-	var rr *resultRetry
-	if k := len(n.retryPool); k > 0 {
-		rr = n.retryPool[k-1]
-		n.retryPool = n.retryPool[:k-1]
-	} else {
-		rr = &resultRetry{n: n}
-		rr.ack = rr.onAck
-		rr.resend = rr.retransmit
-	}
+	rr := n.popRetry()
 	rr.rq, rr.t, rr.attempt = rq, t, 0
 	n.pendingSends++
 	return rr
 }
 
-// release returns the state to the pool. The tuple and query references
-// are cleared so pooled entries do not pin finished queries' memory.
+// newResultBatchSend acquires retry state for one encoded result batch
+// frame (rows result rows) about to be sent to rq's proxy.
+func (n *Node) newResultBatchSend(rq *runningQuery, frame []byte, rows int) *resultRetry {
+	rr := n.popRetry()
+	rr.rq, rr.frame, rr.rows, rr.attempt = rq, frame, rows, 0
+	n.pendingSends++
+	return rr
+}
+
+func (n *Node) popRetry() *resultRetry {
+	if k := len(n.retryPool); k > 0 {
+		rr := n.retryPool[k-1]
+		n.retryPool = n.retryPool[:k-1]
+		return rr
+	}
+	rr := &resultRetry{n: n}
+	rr.ack = rr.onAck
+	rr.resend = rr.retransmit
+	return rr
+}
+
+// release returns the state to the pool. The tuple, frame, and query
+// references are cleared so pooled entries do not pin finished queries'
+// memory.
 func (rr *resultRetry) release() {
 	n := rr.n
-	rr.rq, rr.t = nil, nil
+	rr.rq, rr.t, rr.frame, rr.rows = nil, nil, nil, 0
 	n.pendingSends--
 	n.retryPool = append(n.retryPool, rr)
 }
@@ -110,13 +129,19 @@ func (rr *resultRetry) onAck(ok bool) {
 	n.rt.Schedule(delay, rr.resend)
 }
 
-// retransmit re-encodes the retained tuple and sends it again. The
-// node's scratch writer is safe here: the timer callback runs as a node
-// event and Send consumes the bytes synchronously.
+// retransmit re-encodes the retained tuple (or re-wraps the retained
+// batch frame) and sends it again. The node's scratch writer is safe
+// here: the timer callback runs as a node event and Send consumes the
+// bytes synchronously.
 func (rr *resultRetry) retransmit() {
 	n := rr.n
 	if n.running[rr.rq.id] != rr.rq {
 		rr.release()
+		return
+	}
+	if rr.frame != nil {
+		n.rt.Send(rr.rq.proxy, vri.PortQuery,
+			encodeResultBatch(n.scratch, rr.rq.id, n.rt.Addr(), rr.frame), rr.ack)
 		return
 	}
 	n.rt.Send(rr.rq.proxy, vri.PortQuery,

@@ -135,9 +135,7 @@ func (p *putOp) PushBatch(tag exec.Tag, b *tuple.Batch) {
 			if !ok {
 				// Partitioning column absent from the uniform schema:
 				// every row lacks it.
-				for r := 0; r < n; r++ {
-					p.Dropped.Inc()
-				}
+				p.Dropped.Add(n)
 				return
 			}
 			colIdx[i] = ci
@@ -244,11 +242,11 @@ func (r *resultOp) Push(_ exec.Tag, t *tuple.Tuple) {
 	r.lg.n.forwardResult(r.lg.rq, t)
 }
 
-// PushBatch forwards each result row; client delivery is per tuple.
+// PushBatch forwards the whole batch as one columnar result frame; the
+// node memoizes the encoding, so Q query tails fanned the same shared
+// window by a demux encode it once (see forwardResultBatch).
 func (r *resultOp) PushBatch(_ exec.Tag, b *tuple.Batch) {
-	for i, n := 0, b.Len(); i < n; i++ {
-		r.lg.n.forwardResult(r.lg.rq, b.Row(i))
-	}
+	r.lg.n.forwardResultBatch(r.lg.rq, b)
 }
 
 func (r *resultOp) Flush(tag exec.Tag) {
@@ -548,7 +546,13 @@ func (h *hierAggOp) Flush(tag exec.Tag) {
 	}
 	if h.isRoot() {
 		if h.parent != nil {
-			h.pending.Emit("hieragg", func(t *tuple.Tuple) { h.parent.Push(tag, t) })
+			// The final aggregate leaves as one columnar batch so the
+			// downstream result path ships one frame per destination.
+			if b := h.pending.EmitBatch("hieragg"); b != nil {
+				exec.PushBatchTo(h.parent, tag, b)
+			} else {
+				h.pending.Emit("hieragg", func(t *tuple.Tuple) { h.parent.Push(tag, t) })
+			}
 		}
 		h.pending = exec.NewGroupSet(h.keys, h.aggs)
 		return

@@ -162,6 +162,13 @@ type Node struct {
 	retryPool    []*resultRetry
 	pendingSends int
 
+	// lastResultBatch/lastResultFrame memoize the most recent result
+	// batch's encoded rows frame: the demux fans ONE shared batch to all
+	// attached query tails within one dispatch, so consecutive
+	// forwardResultBatch calls for the same window reuse the encoding.
+	lastResultBatch *tuple.Batch
+	lastResultFrame []byte
+
 	// admitBatch, when non-nil, redirects admit acks into a per-proxy
 	// collection instead of sending them one by one: the batch
 	// dissemination handler sets it around its accept loop so all
@@ -816,6 +823,84 @@ func (n *Node) forwardResult(rq *runningQuery, t *tuple.Tuple) {
 		encodeResult(n.scratch, rq.id, n.rt.Addr(), t), rr.ack)
 }
 
+// forwardResultBatch ships a whole emitted window to rq's proxy as ONE
+// columnar frame instead of len(b) per-tuple frames. The encoded rows
+// frame is memoized per batch pointer: Demux hands the SAME shared batch
+// to every attached query tail within one dispatch, so Q queries sharing
+// a chain encode the window once and pay only the per-destination
+// envelope — the result side costs O(groups + Q), not O(groups × Q).
+func (n *Node) forwardResultBatch(rq *runningQuery, b *tuple.Batch) {
+	k := b.Len()
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		// One row rides the legacy per-tuple frame: cheaper than a
+		// columnar header and it keeps single-group windows on the
+		// pooled tuple retry path.
+		n.forwardResult(rq, b.Row(0))
+		return
+	}
+	n.resultsSent += uint64(k)
+	if rq.proxy == n.rt.Addr() {
+		n.deliverResultBatch(rq.id, n.rt.Addr(), b)
+		return
+	}
+	frame := n.batchResultFrame(b)
+	rr := n.newResultBatchSend(rq, frame, k)
+	n.rt.Send(rq.proxy, vri.PortQuery,
+		encodeResultBatch(n.scratch, rq.id, n.rt.Addr(), frame), rr.ack)
+}
+
+// batchResultFrame returns b's encoded rows frame, reusing the bytes
+// when the SAME batch was encoded last — consecutive demux tails
+// forwarding one shared window hit this cache. The frame is an owned
+// allocation, not scratch: retry state retains it across async
+// boundaries and every destination's envelope wraps the same slice.
+func (n *Node) batchResultFrame(b *tuple.Batch) []byte {
+	if n.lastResultBatch == b {
+		return n.lastResultFrame
+	}
+	frame := b.EncodeFrame()
+	n.lastResultBatch, n.lastResultFrame = b, frame
+	return frame
+}
+
+// encodeResultBatch frames one encoded result batch with its query id
+// and origin, mirroring encodeResult.
+func encodeResultBatch(w *wire.Writer, queryID string, origin vri.Addr, frame []byte) []byte {
+	w.Reset()
+	w.U8(qmResultBatch)
+	w.String(queryID)
+	w.String(string(origin))
+	w.Bytes32(frame)
+	return w.Bytes()
+}
+
+// deliverResultBatch is deliverResult over a whole batch: one
+// contributor mark, len(b) result rows, per-row client callbacks — the
+// client boundary stays row-oriented, so collectors observe the same
+// tuple sequence the per-tuple path would deliver.
+func (n *Node) deliverResultBatch(queryID string, origin vri.Addr, b *tuple.Batch) {
+	ps := n.proxied[queryID]
+	if ps == nil {
+		return // query finished or unknown; drop
+	}
+	k := b.Len()
+	ps.results += uint64(k)
+	if origin != "" {
+		if ps.contributors == nil {
+			ps.contributors = make(map[vri.Addr]struct{})
+		}
+		ps.contributors[origin] = struct{}{}
+	}
+	if ps.onResult != nil {
+		for i := 0; i < k; i++ {
+			ps.onResult(b.Row(i))
+		}
+	}
+}
+
 // encodeResult frames one result tuple with its query id and origin —
 // the executor node it came from, which the proxy counts as a
 // completeness contributor.
@@ -862,6 +947,10 @@ const (
 	// opgraphs), the completeness denominator. Batch-disseminated
 	// queries share one frame per (executor, proxy) pair.
 	qmAdmit
+	// qmResultBatch carries one encoded tuple.Batch frame of result rows
+	// for one query — the batched form of qmResult, one frame per
+	// emitted window per destination instead of one per row.
+	qmResultBatch
 )
 
 func encodeDisseminate(queryID string, deadline time.Time, proxy vri.Addr, client string, g ufl.Opgraph) []byte {
@@ -935,6 +1024,19 @@ func (n *Node) handleMessage(src vri.Addr, payload []byte) {
 		for _, id := range ids {
 			n.deliverAdmit(id)
 		}
+
+	case qmResultBatch:
+		queryID := r.String()
+		origin := vri.Addr(r.String())
+		frame := r.Bytes32()
+		if r.Err() != nil {
+			return
+		}
+		b, err := tuple.DecodeFrame(frame)
+		if err != nil {
+			return
+		}
+		n.deliverResultBatch(queryID, origin, b)
 
 	case qmResult:
 		queryID := r.String()

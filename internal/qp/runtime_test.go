@@ -102,6 +102,49 @@ func TestBusSharesSubscriptionAcrossQueries(t *testing.T) {
 	}
 }
 
+// TestCanonicalPredicatesShareChain: predicates that differ only in
+// commutative operand order are structurally one plan, so the two
+// queries attach to ONE shared operator chain (signature-aware
+// canonicalization, not just literal text identity).
+func TestCanonicalPredicatesShareChain(t *testing.T) {
+	env, n := soloNode(t, 47)
+	predQuery := func(id, pred string) *ufl.Query {
+		return ufl.MustParse(fmt.Sprintf(`
+query %s timeout 30s
+opgraph g disseminate local {
+    src = NewData(table='fw')
+    sel = Select(pred='%s')
+    agg = GroupBy(aggs='count(*) as cnt')
+    out = Result()
+    sel <- src
+    agg <- sel
+    out <- agg
+}
+`, id, pred))
+	}
+	counts := make([]int, 2)
+	for i, pred := range []string{"a > 1 AND b < 2", "b < 2 AND a > 1"} {
+		i := i
+		if err := n.Submit(predQuery(fmt.Sprintf("p%d", i), pred), "c",
+			func(*tuple.Tuple) { counts[i]++ }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.Run(time.Second)
+	st := n.Stats()
+	if st.SharedSubtrees != 1 || st.SubtreeAttachments != 2 || st.SubtreeBuilds != 1 || st.SubtreeHits != 1 {
+		t.Fatalf("flipped predicates did not share one chain: %+v", st)
+	}
+	n.PublishLocal("fw", tuple.New("fw").Set("a", tuple.Int(5)).Set("b", tuple.Int(1)), time.Hour)
+	n.PublishLocal("fw", tuple.New("fw").Set("a", tuple.Int(0)).Set("b", tuple.Int(1)), time.Hour)
+	env.Run(40 * time.Second) // run past timeout so final flushes emit
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("query %d never produced a count row", i)
+		}
+	}
+}
+
 // TestTenKQueriesReturnToBaseline is the end-to-end leak regression the
 // registry was built for: instantiate and close 10k queries and assert
 // subscriber count and per-publish dispatch cost return to baseline.

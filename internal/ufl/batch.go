@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"pier/internal/expr"
 	"pier/internal/wire"
 )
 
@@ -176,7 +177,7 @@ func (g *Opgraph) Signature(queryID string) uint64 {
 		sort.Strings(keys)
 		for _, k := range keys {
 			h = sigStr(h, k)
-			h = sigStr(h, norm(op.Args[k]))
+			h = sigStr(h, norm(canonArg(k, op.Args[k])))
 		}
 		h = sigStr(h, "|")
 	}
@@ -263,7 +264,7 @@ func (g *Opgraph) SubtreeSignatures(queryID string) map[string]uint64 {
 			sort.Strings(keys)
 			for _, k := range keys {
 				h = sigStr(h, k)
-				h = sigStr(h, norm(spec.Args[k]))
+				h = sigStr(h, norm(canonArg(k, spec.Args[k])))
 			}
 		}
 		h = sigStr(h, "|")
@@ -308,6 +309,18 @@ func normalizer(queryID string) func(string) string {
 
 // sigStr folds one string (plus a terminator, so "ab"+"c" differs from
 // "a"+"bc") into an FNV-1a accumulator.
+// canonArg normalizes one op-argument value before hashing. Predicate
+// arguments pass through expr's structural canonicalization, so
+// human-authored operand orderings ("a>1 AND b<2" vs "b<2 AND a>1",
+// "x<5" vs "5>x") hash to one signature and hit the shared-subtree
+// cache; unparseable predicates and every other argument hash verbatim.
+func canonArg(key, val string) string {
+	if key != "pred" {
+		return val
+	}
+	return expr.CanonicalString(val)
+}
+
 func sigStr(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])

@@ -176,6 +176,54 @@ func TestSubtreeSignatures(t *testing.T) {
 	_ = g.SubtreeSignatures("")
 }
 
+// TestSignatureCanonicalizesPredicates: predicate arguments that differ
+// only in commutative And/Or operand order or comparison direction hash
+// to one signature — a human-authored "b<2 AND a>1" hits the subtree
+// cache built for "a>1 AND b<2".
+func TestSignatureCanonicalizesPredicates(t *testing.T) {
+	withPred := func(pred string) Opgraph {
+		g := sampleGraph("g", "fwlogs")
+		g.Ops = []OpSpec{
+			g.Ops[0],
+			{ID: "sel", Kind: "Select", Args: map[string]string{"pred": pred}},
+			g.Ops[1],
+			g.Ops[2],
+		}
+		g.Edges = []Edge{{From: "scan", To: "sel"}, {From: "sel", To: "agg"}, {From: "agg", To: "out"}}
+		return g
+	}
+	equiv := [][2]string{
+		{"a > 1 AND b < 2", "b < 2 AND a > 1"},
+		{"a > 1 AND b < 2 AND c = 3", "c = 3 AND b < 2 AND a > 1"},
+		{"a = 1 OR b = 2", "b = 2 OR a = 1"},
+		{"a > 1", "1 < a"},
+		{"a >= 1 AND 2 > b", "b < 2 AND 1 <= a"},
+	}
+	for _, pair := range equiv {
+		x, y := withPred(pair[0]), withPred(pair[1])
+		if x.Signature("") != y.Signature("") {
+			t.Errorf("Signature(%q) != Signature(%q)", pair[0], pair[1])
+		}
+		if x.SubtreeSignatures("")["sel"] != y.SubtreeSignatures("")["sel"] {
+			t.Errorf("subtree signature of %q != %q", pair[0], pair[1])
+		}
+		if x.SubtreeSignatures("")["out"] != y.SubtreeSignatures("")["out"] {
+			t.Errorf("tail subtree signature of %q != %q", pair[0], pair[1])
+		}
+	}
+	// Genuinely different predicates must not unify, parseable or not.
+	for _, pair := range [][2]string{
+		{"a > 1 AND b < 2", "a > 1 AND b < 3"},
+		{"a > 1", "a >= 1"},
+		{"not a pred ((", "also not a pred )("},
+	} {
+		x, y := withPred(pair[0]), withPred(pair[1])
+		if x.Signature("") == y.Signature("") {
+			t.Errorf("Signature(%q) == Signature(%q)", pair[0], pair[1])
+		}
+	}
+}
+
 // TestSignatureNormalizationIsTokenAnchored: a query id that is a
 // substring of unrelated argument text ("fw" inside table 'fwlogs') must
 // not perturb the structural signature.
